@@ -1,0 +1,26 @@
+"""Benchmark fixtures: shared deployment and report printing.
+
+Each benchmark regenerates one paper table/figure, prints the same
+rows/series the paper reports (captured with ``pytest -s`` or in the
+benchmark logs), asserts the shape checks, and times the run via
+pytest-benchmark.
+"""
+
+import pytest
+
+from repro.channel.deployment import paper_deployment
+
+
+@pytest.fixture(scope="session")
+def deployment():
+    """The calibrated 256-device office deployment (fixed seed)."""
+    return paper_deployment(n_devices=256, rng=2026)
+
+
+def emit(result) -> None:
+    """Print an experiment report and enforce its shape checks."""
+    print()
+    print(result.report(max_rows=24))
+    assert result.all_checks_pass(), (
+        f"{result.experiment_id}: shape checks failed\n{result.report()}"
+    )

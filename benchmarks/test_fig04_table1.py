@@ -1,0 +1,18 @@
+"""Benches for Fig. 4 (Choir FFT-bin CDF) and Table 1 (configurations)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig04_choir_cdf, table1_configs
+
+
+def test_fig04_choir_cdf(benchmark):
+    """Fig. 4: backscatter tags stay under 1/3 FFT bin; radios spread."""
+    result = benchmark(
+        fig04_choir_cdf.run, n_devices=48, n_packets=60, rng=4
+    )
+    emit(result)
+
+
+def test_table1_configurations(benchmark):
+    """Table 1: tolerable mismatch, bitrate and sensitivity per config."""
+    result = benchmark(table1_configs.run)
+    emit(result)

@@ -1,0 +1,16 @@
+"""Benches for Fig. 7a (gain vs Z0) and Fig. 8 (side-lobe profile)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig07_power_gain, fig08_sidelobes
+
+
+def test_fig07a_power_gain_sweep(benchmark):
+    """Fig. 7a: backscatter gain vs Z0, plus the 3-level design points."""
+    result = benchmark(fig07_power_gain.run, n_points=101)
+    emit(result)
+
+
+def test_fig08_sidelobe_profile(benchmark):
+    """Fig. 8: zero-padded dechirped spectrum; -13 dB / -21 dB lobes."""
+    result = benchmark(fig08_sidelobes.run)
+    emit(result)

@@ -1,0 +1,37 @@
+"""Benches for Fig. 9 (SNR variance), Fig. 14 (offsets), Fig. 16 (PSD)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig09_snr_variance, fig14_offsets, fig16_spectrogram
+
+
+def test_fig09_snr_variance(benchmark):
+    """Fig. 9: 30-minute SNR deviation CDFs of eight office devices."""
+    result = benchmark(
+        fig09_snr_variance.run, n_devices=8, duration_s=1800.0, rng=9
+    )
+    emit(result)
+
+
+def test_fig14a_frequency_offsets(benchmark):
+    """Fig. 14a: tag frequency offsets within +/-150 Hz."""
+    result = benchmark(
+        fig14_offsets.run_frequency_offsets,
+        n_devices=256,
+        n_packets=20,
+        rng=14,
+    )
+    emit(result)
+
+
+def test_fig14b_residual_bins(benchmark):
+    """Fig. 14b: residual |delta FFT bin| tails for three configurations."""
+    result = benchmark(
+        fig14_offsets.run_residual_bins, n_devices=64, n_packets=40, rng=15
+    )
+    emit(result)
+
+
+def test_fig16_power_level_spectra(benchmark):
+    """Fig. 16: clean chirp spectra at the 0/-4/-10 dB levels."""
+    result = benchmark(fig16_spectrogram.run, n_symbols=16, rng=16)
+    emit(result)

@@ -1,0 +1,32 @@
+"""Benches for Fig. 12 (near-far BER) and Fig. 15 (Doppler, dyn. range)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig12_nearfar_ber, fig15_doppler_dr
+
+
+def test_fig12_nearfar_ber(benchmark):
+    """Fig. 12: weak-device BER vs SNR at 35/40/45 dB power deltas."""
+    result = benchmark(
+        fig12_nearfar_ber.run,
+        snrs_db=(-20, -18, -16, -14, -12, -10),
+        n_symbols=4000,
+        rng=12,
+    )
+    emit(result)
+
+
+def test_fig15a_doppler(benchmark):
+    """Fig. 15a: bin-offset tails unchanged at walking/running speeds."""
+    result = benchmark(fig15_doppler_dr.run_doppler, n_samples=2000, rng=15)
+    emit(result)
+
+
+def test_fig15b_dynamic_range(benchmark):
+    """Fig. 15b: tolerable power delta vs bin separation (5 -> 35 dB)."""
+    result = benchmark(
+        fig15_doppler_dr.run_dynamic_range,
+        separations_bins=(2, 4, 8, 16, 64, 128, 256),
+        n_symbols=600,
+        rng=16,
+    )
+    emit(result)

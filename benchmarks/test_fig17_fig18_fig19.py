@@ -1,0 +1,39 @@
+"""Benches for the deployment evaluation: Figs. 17, 18 and 19."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig17_phy_rate, fig18_linklayer, fig19_latency
+
+
+def test_fig17_network_phy_rate(benchmark, deployment):
+    """Fig. 17: PHY rate scales ~linearly to ~250 kbps at 256 devices."""
+    result = benchmark(
+        fig17_phy_rate.run,
+        deployment=deployment,
+        device_counts=(1, 16, 32, 64, 96, 128, 160, 192, 224, 256),
+        n_rounds=3,
+        rng=17,
+    )
+    emit(result)
+
+
+def test_fig18_link_layer_rate(benchmark, deployment):
+    """Fig. 18: link-layer gains 61.9x/14.1x (cfg 1), 50.9x/11.6x (cfg 2)."""
+    result = benchmark(
+        fig18_linklayer.run,
+        deployment=deployment,
+        device_counts=(1, 16, 64, 128, 192, 256),
+        n_rounds=2,
+        rng=18,
+    )
+    emit(result)
+
+
+def test_fig19_network_latency(benchmark, deployment):
+    """Fig. 19: latency reductions 67.0x/15.3x (cfg 1), 55.1x/12.6x (cfg 2)."""
+    result = benchmark(
+        fig19_latency.run,
+        deployment=deployment,
+        device_counts=(1, 16, 32, 64, 96, 128, 160, 192, 224, 256),
+        rng=19,
+    )
+    emit(result)

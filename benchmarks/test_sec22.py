@@ -1,0 +1,10 @@
+"""Bench for Section 2.2's analytic scaling limits of prior approaches."""
+
+from benchmarks.conftest import emit
+from repro.experiments import sec22_analytics
+
+
+def test_sec22_existing_approaches(benchmark):
+    """Choir collision/fraction probabilities and the (SF, BW) counts."""
+    result = benchmark(sec22_analytics.run, n_trials=20000, rng=22)
+    emit(result)

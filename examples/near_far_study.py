@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Near-far study: why allocation and power control make 256 work.
+
+Walks through the paper's Section 3.2.3 machinery interactively:
+
+1. the side-lobe profile that creates the near-far problem,
+2. BER of a weak device vs a strong interferer's distance and power,
+3. what power-aware allocation buys over a random assignment,
+4. the tag-side reciprocity power-control loop under fading.
+
+Run:  python examples/near_far_study.py
+"""
+
+import numpy as np
+
+from repro.channel.awgn import awgn
+from repro.core.allocation import power_aware_allocation, random_allocation
+from repro.core.config import NetScatterConfig
+from repro.core.dcss import DeviceTransmission, compose_preamble_and_payload_symbols
+from repro.core.power_control import simulate_power_control
+from repro.core.receiver import NetScatterReceiver
+from repro.phy.spectrum import side_lobe_profile
+
+
+def weak_device_ber(config, strong_shift, delta_db, rng, n_bits=200):
+    payload = rng.integers(0, 2, n_bits).tolist()
+    interferer = rng.integers(0, 2, n_bits).tolist()
+    txs = [
+        DeviceTransmission(shift=0, bits=payload),
+        DeviceTransmission(
+            shift=strong_shift, bits=interferer, power_gain_db=delta_db
+        ),
+    ]
+    symbols = compose_preamble_and_payload_symbols(
+        config.chirp_params, txs, rng=rng
+    )
+    symbols = [awgn(s, -5.0, rng) for s in symbols]
+    receiver = NetScatterReceiver(
+        config, {0: 0, 1: strong_shift}, detection_snr_db=-100.0
+    )
+    got = receiver.decode_fast_symbols(symbols).bits_of(0)
+    return sum(1 for a, b in zip(payload, got) if a != b) / n_bits
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    config = NetScatterConfig()
+
+    # 1. the side-lobe profile (Fig. 8).
+    profile = side_lobe_profile(config.chirp_params, config.zero_pad_factor)
+    print("side-lobe exposure of a unit-power device (Fig. 8):")
+    for offset in (1.5, 2.5, 3.5, 8.0, 64.0, 256.0):
+        print(f"  at {offset:6.1f} bins: {profile.at_natural_bin(offset):7.1f} dB")
+
+    # 2. weak-device BER vs interferer distance and power (Fig. 15b).
+    print("\nweak device BER vs a strong interferer (SNR -5 dB):")
+    print("  distance   +10 dB   +25 dB   +35 dB")
+    for distance in (2, 16, 256):
+        row = [
+            weak_device_ber(config, distance, delta, rng)
+            for delta in (10.0, 25.0, 35.0)
+        ]
+        print(f"  {distance:5d}     " + "   ".join(f"{b:6.3f}" for b in row))
+    print("  -> power-aware allocation puts big deltas at big distances")
+
+    # 3. allocation ablation: sorted vs random at a 35 dB spread.
+    snrs = np.linspace(0.0, 35.0, 64).tolist()
+    aware = power_aware_allocation(snrs, config)
+    blind = random_allocation(len(snrs), config, rng)
+
+    def worst_pair_margin(allocation):
+        # Exposure over the neighbour's residual-offset window: exactly
+        # at integer distances the sinc nulls out, but jitter moves
+        # devices by fractions of a bin, so the worst level within
+        # +/- half a bin is what matters.
+        worst = -np.inf
+        for i, si in enumerate(snrs):
+            for j, sj in enumerate(snrs):
+                if si <= sj:
+                    continue
+                distance = abs(allocation[i] - allocation[j])
+                distance = min(distance, config.n_bins - distance)
+                hi = min(config.n_bins / 2.0 - 0.5, distance + 0.5)
+                lo = max(0.5, min(distance - 0.5, hi - 0.5))
+                lobe = profile.worst_in_range(lo, hi)
+                worst = max(worst, (si - sj) + lobe)
+        return worst
+
+    print("\nworst (power delta + side lobe) margin over all pairs, dB "
+          "(negative = every weak device clears every strong one):")
+    print(f"  power-aware allocation: {worst_pair_margin(aware):+6.1f}")
+    print(f"  random allocation     : {worst_pair_margin(blind):+6.1f}")
+
+    # 4. the reciprocity power-control loop under strong fading.
+    population = np.linspace(0.0, 25.0, 32).tolist()
+    on = simulate_power_control(
+        population, n_rounds=300, enabled=True, fading_std_db=6.0, rng=3
+    )
+    off = simulate_power_control(
+        population, n_rounds=300, enabled=False, fading_std_db=6.0, rng=3
+    )
+
+    def wander(result):
+        return float(np.mean(np.std(result["effective_snr_db"], axis=0)))
+
+    print("\neffective-SNR wander under strong fading (std 6 dB):")
+    print(f"  power control ON : {wander(on):.2f} dB")
+    print(f"  power control OFF: {wander(off):.2f} dB")
+    participation = float(np.mean(on["participating"]))
+    print(f"  participation with control: {participation * 100:.1f}% "
+          "(devices sit out rounds they cannot compensate)")
+
+
+if __name__ == "__main__":
+    main()

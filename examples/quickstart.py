@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: decode concurrent backscatter devices with one FFT.
+
+Builds the paper's core scenario from scratch: several devices each
+ON-OFF-key their assigned cyclic shift below the noise floor, the air
+sums everything, and the NetScatter receiver decodes every device from a
+single dechirp + FFT per symbol.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import NetScatterConfig, NetScatterReceiver
+from repro.channel.awgn import awgn
+from repro.core.dcss import (
+    DeviceTransmission,
+    compose_preamble_and_payload_symbols,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # The deployed configuration: 500 kHz, SF 9, SKIP 2 -> 512 cyclic
+    # shifts, one OOK bit per ~1 ms symbol per device.
+    config = NetScatterConfig()
+    print(f"configuration : {config.describe()}")
+    print(f"LoRa bitrate at the same (BW, SF): "
+          f"{config.lora_bitrate_bps:.0f} bps for ONE device")
+    print(f"distributed-CSS gain: {config.throughput_gain_over_lora:.1f}x\n")
+
+    # Eight devices, SKIP-spaced shifts, each with its own payload.
+    shifts = [0, 64, 128, 192, 256, 320, 384, 448]
+    payloads = {i: rng.integers(0, 2, 16).tolist() for i in range(8)}
+    transmissions = [
+        DeviceTransmission(shift=shifts[i], bits=payloads[i])
+        for i in range(8)
+    ]
+
+    # Compose the concurrent frame (preamble + OOK payload) and push it
+    # 10 dB below the noise floor.
+    snr_db = -10.0
+    symbols = compose_preamble_and_payload_symbols(
+        config.chirp_params, transmissions, rng=rng
+    )
+    noisy = [awgn(s, snr_db, rng) for s in symbols]
+    print(f"8 devices transmitting concurrently at {snr_db:.0f} dB SNR "
+          f"(below the noise floor)\n")
+
+    # One receiver decodes everyone: single FFT per symbol.
+    receiver = NetScatterReceiver(config, {i: shifts[i] for i in range(8)})
+    decode = receiver.decode_fast_symbols(noisy)
+
+    all_correct = True
+    for device_id in range(8):
+        got = decode.bits_of(device_id)
+        ok = got == payloads[device_id]
+        all_correct &= ok
+        print(f"device {device_id} (shift {shifts[device_id]:3d}): "
+              f"{''.join(map(str, got))} {'OK' if ok else 'BIT ERRORS'}")
+
+    print(f"\n{'all 8 devices decoded correctly' if all_correct else 'errors occurred'} "
+          f"from ONE FFT per symbol")
+
+
+if __name__ == "__main__":
+    main()

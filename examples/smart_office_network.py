@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Whole-office sensing: 256 battery-free sensors report through one AP.
+
+The paper's motivating scenario: sensors scattered across an office floor
+(temperature, occupancy, ...) associate with the AP, get power-aware
+cyclic shifts, and then report *concurrently* every round. This example
+runs the full pipeline — deployment generation, association, concurrent
+rounds over the simulated channel — and compares data-collection latency
+against the sequential LoRa-backscatter baseline.
+
+Run:  python examples/smart_office_network.py
+"""
+
+import numpy as np
+
+from repro.baselines.lora_backscatter import LoRaBackscatterNetwork
+from repro.channel.deployment import paper_deployment
+from repro.core.config import NetScatterConfig
+from repro.hardware.power_model import IcPowerBudget
+from repro.phy.packet import PacketStructure
+from repro.protocol.ap import AccessPoint
+from repro.protocol.network import NetworkSimulator
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    n_sensors = 256
+
+    print(f"generating a 40 x 20 m office floor with {n_sensors} sensors...")
+    deployment = paper_deployment(n_devices=n_sensors, rng=rng)
+    snrs = deployment.snrs_db()
+    print(f"uplink SNR: {snrs.min():.1f} .. {snrs.max():.1f} dB "
+          f"(spread {deployment.snr_spread_db():.1f} dB)\n")
+
+    # --- association phase (devices join one at a time, as deployed) ----
+    config = NetScatterConfig(n_association_shifts=0)
+    ap = AccessPoint(config)
+    for device in deployment.devices:
+        ap.run_association(device.device_id, device.uplink_snr_db)
+    print(f"associated {ap.n_members} sensors; "
+          f"{ap.stats.reassignment_queries} full reassignment queries, "
+          f"{ap.stats.downlink_bits_sent} downlink bits spent\n")
+
+    # --- concurrent data collection ------------------------------------
+    sim = NetworkSimulator(deployment, config=config, rng=rng)
+    effective = sim.effective_snrs_db()
+    print("after 3-level power control the effective spread is "
+          f"{max(effective) - min(effective):.1f} dB "
+          "(the receiver tolerates ~35 dB)")
+
+    metrics = sim.run_rounds(5)
+    print(f"\nNetScatter, {n_sensors} concurrent sensors:")
+    print(f"  round latency        : {metrics.latency_s * 1e3:.1f} ms")
+    print(f"  packet delivery      : {metrics.delivery_ratio * 100:.1f} %")
+    print(f"  network PHY rate     : {metrics.phy_rate_bps / 1e3:.1f} kbps")
+    print(f"  link-layer data rate : "
+          f"{metrics.link_layer_rate_bps / 1e3:.1f} kbps")
+
+    # --- the TDMA baseline ----------------------------------------------
+    baseline = LoRaBackscatterNetwork(snrs.tolist(), rate_adaptation=False)
+    adaptive = LoRaBackscatterNetwork(snrs.tolist(), rate_adaptation=True)
+    print(f"\nLoRa backscatter (sequential polling):")
+    print(f"  fixed 8.7 kbps : {baseline.network_latency_s() * 1e3:.0f} ms "
+          f"per sweep "
+          f"({baseline.network_latency_s() / metrics.latency_s:.0f}x slower)")
+    print(f"  ideal RA       : {adaptive.network_latency_s() * 1e3:.0f} ms "
+          f"per sweep "
+          f"({adaptive.network_latency_s() / metrics.latency_s:.0f}x slower)")
+
+    # --- tag energy budget ----------------------------------------------
+    budget = IcPowerBudget()
+    packets_per_day = budget.packets_per_day_on_battery(
+        config.chirp_params, PacketStructure()
+    )
+    per_packet_uj = budget.energy_per_packet_uj(
+        config.chirp_params, PacketStructure()
+    )
+    print(f"\ntag power: {budget.total_uw:.1f} uW active "
+          f"(paper's 65 nm IC simulation), {per_packet_uj:.1f} uJ/packet; "
+          f"a CR2032-class cell sustains ~{packets_per_day:,.0f} "
+          "reports/day for a year — transmit energy is never the "
+          "binding constraint at these power levels")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Core evaluation metrics: BER, PER, rates and latency summaries."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.utils.bits import hamming_distance
+
+
+def ber(sent_bits: Sequence[int], received_bits: Sequence[int]) -> float:
+    """Bit error rate between two equal-length bit sequences."""
+    if len(sent_bits) == 0:
+        raise ReproError("cannot compute BER over zero bits")
+    return hamming_distance(sent_bits, received_bits) / len(sent_bits)
+
+
+def packet_error_rate(outcomes: Iterable[bool]) -> float:
+    """Fraction of failed packets; ``outcomes[i]`` is True on success."""
+    results = list(outcomes)
+    if not results:
+        raise ReproError("cannot compute PER over zero packets")
+    return 1.0 - sum(1 for ok in results if ok) / len(results)
+
+
+def delivery_ratio(outcomes: Iterable[bool]) -> float:
+    """Complement of :func:`packet_error_rate`."""
+    return 1.0 - packet_error_rate(outcomes)
+
+
+def network_phy_rate_bps(
+    delivered_bits: float, payload_airtime_s: float
+) -> float:
+    """Network PHY rate: delivered payload bits over payload air time.
+
+    Fig. 17's metric — overheads (queries, preambles) excluded.
+    """
+    if payload_airtime_s <= 0:
+        raise ReproError("payload air time must be positive")
+    if delivered_bits < 0:
+        raise ReproError("delivered bits must be non-negative")
+    return delivered_bits / payload_airtime_s
+
+
+def link_layer_rate_bps(delivered_bits: float, total_airtime_s: float) -> float:
+    """Link-layer rate: delivered payload bits over *total* air time.
+
+    Fig. 18's metric — queries and preambles included.
+    """
+    if total_airtime_s <= 0:
+        raise ReproError("total air time must be positive")
+    if delivered_bits < 0:
+        raise ReproError("delivered bits must be non-negative")
+    return delivered_bits / total_airtime_s
+
+
+def gain_factor(value: float, baseline: float) -> float:
+    """Improvement factor vs a baseline (the paper's NNx numbers)."""
+    if baseline <= 0:
+        raise ReproError("baseline must be positive")
+    return value / baseline
+
+
+def summarize_series(rows: List[Dict[str, float]], key: str) -> Dict[str, float]:
+    """Mean/min/max summary of one column of a result series."""
+    values = np.array([row[key] for row in rows], dtype=float)
+    if values.size == 0:
+        raise ReproError("empty series")
+    return {
+        "mean": float(values.mean()),
+        "min": float(values.min()),
+        "max": float(values.max()),
+    }

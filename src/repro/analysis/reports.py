@@ -1,0 +1,89 @@
+"""Plain-text table/series formatting for the benchmark harness.
+
+Every experiment prints its figure/table as aligned text rows so the
+bench output can be compared with the paper directly; no plotting
+dependencies are required.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ReproError
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Sequence[str],
+    title: str = "",
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        raise ReproError("no rows to format")
+    missing = [c for c in columns if c not in rows[0]]
+    if missing:
+        raise ReproError(f"rows are missing columns: {missing}")
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    header = list(columns)
+    body = [[render(row[c]) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body))
+        for i in range(len(columns))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Sequence[float],
+    y: Sequence[float],
+    x_label: str,
+    y_label: str,
+    title: str = "",
+    max_rows: int = 40,
+) -> str:
+    """Render an (x, y) series as a two-column table, downsampled."""
+    if len(x) != len(y):
+        raise ReproError("x and y must have the same length")
+    if len(x) == 0:
+        raise ReproError("empty series")
+    step = max(1, len(x) // max_rows)
+    rows = [
+        {x_label: float(x[i]), y_label: float(y[i])}
+        for i in range(0, len(x), step)
+    ]
+    return format_table(rows, [x_label, y_label], title=title)
+
+
+def format_comparison(
+    measured: Dict[str, float],
+    expected: Dict[str, float],
+    title: str = "",
+) -> str:
+    """Side-by-side measured-vs-paper table (for EXPERIMENTS.md)."""
+    keys = [k for k in expected if k in measured]
+    if not keys:
+        raise ReproError("no overlapping keys to compare")
+    rows = [
+        {
+            "quantity": key,
+            "paper": float(expected[key]),
+            "measured": float(measured[key]),
+        }
+        for key in keys
+    ]
+    return format_table(rows, ["quantity", "paper", "measured"], title=title)

@@ -1,0 +1,107 @@
+"""Ideal LoRa rate adaptation via the SX1276 SNR table (Section 4.4).
+
+The paper's strongest baseline gives every backscatter device the best
+single-user LoRa bitrate its SNR supports, chosen from the SX1276
+datasheet's demodulator SNR limits across (SF, BW) combinations. This is
+"ideal" in that it ignores the adaptation protocol's own overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.config import SX1276_SNR_LIMIT_DB
+from repro.channel.awgn import noise_power_dbm
+from repro.constants import LORA_MAX_BITRATE_BPS
+from repro.errors import ConfigurationError
+from repro.phy.chirp import ChirpParams
+
+CANDIDATE_BANDWIDTHS_HZ = (125e3, 250e3, 500e3)
+CANDIDATE_SPREADING_FACTORS = (6, 7, 8, 9, 10, 11, 12)
+
+
+@dataclass(frozen=True)
+class RateChoice:
+    """A feasible (SF, BW) operating point for one device."""
+
+    bandwidth_hz: float
+    spreading_factor: int
+    bitrate_bps: float
+    required_snr_db: float
+
+    @property
+    def params(self) -> ChirpParams:
+        return ChirpParams(
+            bandwidth_hz=self.bandwidth_hz,
+            spreading_factor=self.spreading_factor,
+        )
+
+
+def feasible_choices(
+    snr_db: float,
+    reference_bandwidth_hz: float = 500e3,
+    max_bitrate_bps: float = LORA_MAX_BITRATE_BPS,
+) -> List[RateChoice]:
+    """All (SF, BW) pairs whose SNR demand is met at ``snr_db``.
+
+    ``snr_db`` is referred to ``reference_bandwidth_hz``; narrower
+    bandwidths see proportionally less noise, which the comparison
+    accounts for (a 125 kHz choice gains 6 dB of SNR over 500 kHz).
+    """
+    choices: List[RateChoice] = []
+    reference_noise = noise_power_dbm(reference_bandwidth_hz)
+    for bw in CANDIDATE_BANDWIDTHS_HZ:
+        snr_at_bw = snr_db + reference_noise - noise_power_dbm(bw)
+        for sf in CANDIDATE_SPREADING_FACTORS:
+            limit = SX1276_SNR_LIMIT_DB.get(sf)
+            if limit is None or snr_at_bw < limit:
+                continue
+            params = ChirpParams(bandwidth_hz=bw, spreading_factor=sf)
+            bitrate = min(params.lora_bitrate_bps, max_bitrate_bps)
+            choices.append(
+                RateChoice(
+                    bandwidth_hz=bw,
+                    spreading_factor=sf,
+                    bitrate_bps=bitrate,
+                    required_snr_db=limit,
+                )
+            )
+    return choices
+
+
+def best_choice(
+    snr_db: float, reference_bandwidth_hz: float = 500e3
+) -> Optional[RateChoice]:
+    """The highest-bitrate feasible choice, or ``None`` if out of range."""
+    choices = feasible_choices(snr_db, reference_bandwidth_hz)
+    if not choices:
+        return None
+    return max(choices, key=lambda c: c.bitrate_bps)
+
+
+def best_rate_bps(
+    snr_db: float,
+    reference_bandwidth_hz: float = 500e3,
+    floor_bitrate_bps: float = 0.0,
+) -> float:
+    """Ideal rate-adaptation bitrate for a device at ``snr_db``.
+
+    Devices below even SF12's limit get ``floor_bitrate_bps`` (the
+    comparison drops them, as the paper's testbed had no such devices).
+    """
+    choice = best_choice(snr_db, reference_bandwidth_hz)
+    if choice is None:
+        return float(floor_bitrate_bps)
+    return choice.bitrate_bps
+
+
+def rates_for_population(
+    snrs_db: Sequence[float], reference_bandwidth_hz: float = 500e3
+) -> List[float]:
+    """Per-device ideal bitrates for a deployment's SNR vector."""
+    if len(snrs_db) == 0:
+        raise ConfigurationError("need at least one device")
+    return [
+        best_rate_bps(snr, reference_bandwidth_hz) for snr in snrs_db
+    ]

@@ -1,0 +1,33 @@
+"""Propagation substrate: noise, path loss, multipath, fading and offsets.
+
+The paper's evaluation runs over an indoor office deployment; this package
+provides the synthetic equivalents — a log-distance indoor path-loss model
+with wall losses, Saleh-Valenzuela-style delay spread, a temporal fading
+process matching the measured +/-5 dB SNR variance (Fig. 9), and models of
+the timing/frequency offsets the hardware introduces.
+"""
+
+from repro.channel.awgn import awgn, noise_power_dbm, snr_after_despreading_db
+from repro.channel.deployment import Deployment, DeployedDevice, generate_office_deployment
+from repro.channel.fading import FadingProcess
+from repro.channel.link import LinkBudget, uplink_snr_db, downlink_rssi_dbm
+from repro.channel.offsets import TimingOffsetModel, FrequencyOffsetModel, doppler_bin_shift
+from repro.channel.pathloss import indoor_path_loss_db, free_space_path_loss_db
+
+__all__ = [
+    "awgn",
+    "noise_power_dbm",
+    "snr_after_despreading_db",
+    "Deployment",
+    "DeployedDevice",
+    "generate_office_deployment",
+    "FadingProcess",
+    "LinkBudget",
+    "uplink_snr_db",
+    "downlink_rssi_dbm",
+    "TimingOffsetModel",
+    "FrequencyOffsetModel",
+    "doppler_bin_shift",
+    "indoor_path_loss_db",
+    "free_space_path_loss_db",
+]

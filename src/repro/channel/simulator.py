@@ -1,0 +1,199 @@
+"""Waveform-fidelity end-to-end channel simulator.
+
+The highest-fidelity path through the system: every device's packet is
+rendered as oversampled complex baseband (mirroring the paper's 4 Msps
+USRP capture of a 500 kHz signal), delayed by its true turnaround latency
+at sub-sample resolution, rotated by its CFO, optionally passed through a
+Saleh-Valenzuela multipath channel, summed, noise-loaded, and decimated
+back to the critical rate for the receiver. Used to validate the fast
+bin-domain path and to exercise synchronisation under realistic
+impairments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.channel.awgn import awgn
+from repro.channel.multipath import MultipathChannel, saleh_valenzuela_channel
+from repro.core.config import NetScatterConfig
+from repro.core.dcss import DeviceTransmission
+from repro.errors import ConfigurationError
+from repro.phy.chirp import oversampled_upchirp
+from repro.utils.conversions import amplitude_from_db
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.sampling import apply_cfo
+
+
+@dataclass
+class WaveformScenario:
+    """One concurrent frame rendered at waveform fidelity.
+
+    Attributes
+    ----------
+    stream:
+        Critical-rate complex baseband the receiver consumes.
+    oversampled:
+        The pre-decimation composite at ``oversampling x BW``.
+    true_start:
+        Index of the first preamble sample in ``stream``.
+    """
+
+    stream: np.ndarray
+    oversampled: np.ndarray = field(repr=False, default=None)
+    true_start: int = 0
+    oversampling: int = 4
+
+
+class WaveformSimulator:
+    """Renders concurrent NetScatter frames at oversampled fidelity."""
+
+    def __init__(
+        self,
+        config: NetScatterConfig,
+        oversampling: int = 4,
+        multipath: bool = False,
+        n_preamble_upchirps: int = 6,
+        n_preamble_downchirps: int = 2,
+        rng: RngLike = None,
+    ) -> None:
+        if oversampling < 1:
+            raise ConfigurationError("oversampling must be >= 1")
+        self._config = config
+        self._params = config.chirp_params
+        self._os = int(oversampling)
+        self._multipath = bool(multipath)
+        self._n_up = int(n_preamble_upchirps)
+        self._n_down = int(n_preamble_downchirps)
+        self._rng = make_rng(rng)
+
+    @property
+    def sample_rate_hz(self) -> float:
+        """Oversampled rate (the "USRP" rate)."""
+        return self._params.bandwidth_hz * self._os
+
+    def _device_packet(
+        self, shift: int, bits: Sequence[int]
+    ) -> np.ndarray:
+        """One device's full packet at the oversampled rate."""
+        n_os = self._params.n_samples * self._os
+        up = oversampled_upchirp(self._params, self._os, shift)
+        down = np.conjugate(up)
+        silence = np.zeros(n_os, dtype=complex)
+        parts: List[np.ndarray] = [up] * self._n_up + [down] * self._n_down
+        for bit in bits:
+            if bit not in (0, 1):
+                raise ConfigurationError(f"bits must be 0/1, got {bit!r}")
+            parts.append(up if bit else silence)
+        return np.concatenate(parts)
+
+    def _channel_for_device(self) -> Optional[MultipathChannel]:
+        if not self._multipath:
+            return None
+        return saleh_valenzuela_channel(self._rng)
+
+    def render(
+        self,
+        transmissions: Sequence[DeviceTransmission],
+        snr_db: Optional[float] = None,
+        leading_silence_symbols: int = 2,
+        trailing_silence_symbols: int = 2,
+    ) -> WaveformScenario:
+        """Render a concurrent frame through the full channel.
+
+        ``snr_db`` is the per-unit-power in-band SNR at the critical rate
+        (``None`` for noiseless). Delays are applied at the oversampled
+        grid (sub-critical-sample resolution); each device gets an
+        independent multipath realisation when enabled.
+        """
+        if not transmissions:
+            raise ConfigurationError("need at least one transmission")
+        n_payload = len(list(transmissions[0].bits))
+        for tx in transmissions:
+            if len(list(tx.bits)) != n_payload:
+                raise ConfigurationError(
+                    "all devices must send equal-length payloads"
+                )
+        n_os = self._params.n_samples * self._os
+        frame_os = (self._n_up + self._n_down + n_payload) * n_os
+        lead = leading_silence_symbols * n_os
+        trail = trailing_silence_symbols * n_os
+        total = np.zeros(lead + frame_os + trail, dtype=complex)
+
+        fs = self.sample_rate_hz
+        for tx in transmissions:
+            packet = self._device_packet(tx.shift, list(tx.bits))
+            packet = amplitude_from_db(tx.power_gain_db) * packet
+            if tx.cfo_hz:
+                packet = apply_cfo(packet, tx.cfo_hz, fs)
+            phase = float(self._rng.uniform(0.0, 2.0 * np.pi))
+            packet = packet * np.exp(1j * phase)
+            channel = self._channel_for_device()
+            if channel is not None:
+                packet = channel.apply(packet, fs)
+            delay_samples = int(round(tx.delay_s * fs))
+            start = lead + delay_samples
+            if start < 0:
+                raise ConfigurationError("negative absolute delay")
+            end = min(start + packet.size, total.size)
+            total[start:end] += packet[: end - start]
+
+        if snr_db is not None:
+            # The critical-rate stream is formed by direct subsampling,
+            # which preserves per-sample signal and noise power, so
+            # adding noise at `snr_db` here yields exactly `snr_db`
+            # in-band at the receiver (a brick-wall pre-decimation
+            # filter would instead buy 10*log10(os) dB; we model the
+            # conservative unfiltered receiver).
+            total = awgn(total, snr_db, self._rng)
+
+        stream = total[:: self._os]
+        return WaveformScenario(
+            stream=stream,
+            oversampled=total,
+            true_start=lead // self._os,
+            oversampling=self._os,
+        )
+
+
+def cross_validate_paths(
+    config: NetScatterConfig,
+    transmissions: Sequence[DeviceTransmission],
+    snr_db: float,
+    rng: RngLike = None,
+) -> Dict[str, Dict[int, List[int]]]:
+    """Decode the same scenario on both simulation paths.
+
+    Returns per-path ``device -> bits`` maps so callers (and the test
+    suite) can verify the bin-domain fast path agrees with the full
+    waveform path on identical scenarios.
+    """
+    from repro.core.dcss import compose_preamble_and_payload_symbols
+    from repro.core.receiver import NetScatterReceiver
+
+    generator = make_rng(rng)
+    assignments = {i: tx.shift for i, tx in enumerate(transmissions)}
+    receiver = NetScatterReceiver(config, assignments)
+    n_payload = len(list(transmissions[0].bits))
+
+    simulator = WaveformSimulator(config, rng=generator)
+    scenario = simulator.render(transmissions, snr_db=snr_db)
+    waveform_decode = receiver.decode_frame(
+        scenario.stream, n_payload_bits=n_payload
+    )
+
+    symbols = compose_preamble_and_payload_symbols(
+        config.chirp_params, transmissions, rng=generator
+    )
+    noisy = [awgn(s, snr_db, generator) for s in symbols]
+    fast_decode = receiver.decode_fast_symbols(noisy)
+
+    return {
+        "waveform": {
+            i: waveform_decode.bits_of(i) for i in assignments
+        },
+        "fast": {i: fast_decode.bits_of(i) for i in assignments},
+    }

@@ -1,0 +1,143 @@
+"""Physical and protocol constants used throughout the NetScatter reproduction.
+
+Values are taken from the paper text (NSDI 2019) and standard physics.
+Where the paper cites a datasheet (e.g. crystal tolerance, envelope
+detector sensitivity), the datasheet figure quoted in the paper is used.
+"""
+
+# --- physics ---------------------------------------------------------------
+
+SPEED_OF_LIGHT_M_S = 3.0e8
+"""Propagation speed used by the paper for time-of-flight estimates (m/s)."""
+
+BOLTZMANN_J_PER_K = 1.380649e-23
+"""Boltzmann constant (J/K)."""
+
+ROOM_TEMPERATURE_K = 290.0
+"""Standard noise reference temperature (K)."""
+
+THERMAL_NOISE_DBM_PER_HZ = -174.0
+"""Thermal noise floor density at 290 K (dBm/Hz)."""
+
+# --- RF / carrier ----------------------------------------------------------
+
+CARRIER_FREQ_HZ = 900e6
+"""NetScatter operates in the 900 MHz ISM band."""
+
+BACKSCATTER_BASEBAND_FREQ_HZ = 3e6
+"""Subcarrier offset the tag applies to dodge AP self-interference (3 MHz)."""
+
+RADIO_OSC_FREQ_HZ = 900e6
+"""Active LoRa radios synthesise the carrier directly (used for Fig. 4)."""
+
+CRYSTAL_TOLERANCE_PPM = 100.0
+"""Worst-case crystal frequency tolerance cited from the Murata datasheet."""
+
+# --- default NetScatter modulation (deployment configuration) ---------------
+
+DEFAULT_BANDWIDTH_HZ = 500e3
+"""Chirp bandwidth / sample rate of the deployed configuration (500 kHz)."""
+
+DEFAULT_SPREADING_FACTOR = 9
+"""Spreading factor of the deployed configuration (2^9 = 512 cyclic shifts)."""
+
+DEFAULT_SKIP = 2
+"""Deployment guard spacing: every SKIP-th cyclic shift is assigned."""
+
+DEFAULT_ZERO_PAD_FACTOR = 10
+"""Zero-padding factor for sub-bin FFT peak resolution (Choir uses 10)."""
+
+MAX_CONCURRENT_DEVICES = 256
+"""Deployment size: 2^9 bins / SKIP=2 supports 256 concurrent devices."""
+
+# --- link budget -----------------------------------------------------------
+
+AP_TX_POWER_DBM = 30.0
+"""AP output after the RF5110 power amplifier (30 dBm)."""
+
+AP_ANTENNA_GAIN_DBI = 0.0
+TAG_ANTENNA_GAIN_DBI = 2.0
+"""The tags use a 2 dBi whip antenna."""
+
+ENVELOPE_DETECTOR_SENSITIVITY_DBM = -49.0
+"""Tag downlink (query) receive sensitivity."""
+
+QUERY_REQUIRED_SENSITIVITY_DBM = -44.0
+"""One-way downlink budget requirement quoted in the paper footnote."""
+
+RECEIVER_SENSITIVITY_SF9_DBM = -123.0
+"""Uplink sensitivity of the (500 kHz, SF 9) configuration."""
+
+# --- protocol --------------------------------------------------------------
+
+DOWNLINK_BITRATE_BPS = 160e3
+"""AP query messages are ASK-modulated at 160 kbps."""
+
+PREAMBLE_UPCHIRPS = 6
+PREAMBLE_DOWNCHIRPS = 2
+"""Packet preamble: six upchirps followed by two downchirps."""
+
+PAYLOAD_CRC_BITS = 40
+"""Payload plus CRC length used in the link-layer evaluation (Figs. 18-19)."""
+
+QUERY_BITS_CONFIG1 = 32
+"""Query length when cyclic shifts are pre-assigned (NetScatter config 1)."""
+
+QUERY_BITS_CONFIG2 = 1760
+"""Query length carrying full shift reassignment (NetScatter config 2)."""
+
+LORA_BACKSCATTER_QUERY_BITS = 28
+"""Per-device query length of the sequential LoRa-backscatter baseline."""
+
+LORA_BACKSCATTER_FIXED_BITRATE_BPS = 8.7e3
+"""Fixed bitrate of the LoRa backscatter baseline without rate adaptation."""
+
+LORA_MAX_BITRATE_BPS = 32e3
+"""Maximum LoRa bitrate reachable by ideal rate adaptation (32 kbps)."""
+
+N_ASSOCIATION_SHIFTS = 2
+"""Reserved association cyclic shifts (one high-SNR, one low-SNR region)."""
+
+POWER_GAIN_LEVELS_DB = (0.0, -4.0, -10.0)
+"""Transmit power gains implemented by the tag switch network."""
+
+# --- measured hardware behaviour (paper Section 4.2) -------------------------
+
+HW_DELAY_JITTER_MAX_S = 3.5e-6
+"""Maximum observed MCU/envelope-detector hardware delay variation."""
+
+TAG_FREQ_OFFSET_MAX_HZ = 150.0
+"""Tag frequency offsets measured within +/-150 Hz (Fig. 14a)."""
+
+MULTIPATH_DELAY_SPREAD_MIN_S = 50e-9
+MULTIPATH_DELAY_SPREAD_MAX_S = 300e-9
+"""Indoor delay spread range cited from Devasirvatham / Saleh-Valenzuela."""
+
+MAX_DEPLOYMENT_RANGE_M = 100.0
+"""Whole-home / whole-office target propagation distance bound."""
+
+# --- near-far design points (Sections 3.2.3 / 4.3) ---------------------------
+
+SIDE_LOBE_SKIP2_DB = -13.0
+"""First sinc side lobe level at SKIP = 2 (paper Fig. 8 annotation)."""
+
+SIDE_LOBE_SKIP3_DB = -21.0
+"""Third sinc side lobe level at SKIP = 3 (paper Fig. 8 annotation)."""
+
+DYNAMIC_RANGE_SIM_DB = 40.0
+"""Power delta tolerated in simulation with power-aware allocation."""
+
+DYNAMIC_RANGE_PRACTICE_DB = 35.0
+"""Power delta tolerated in practice (Fig. 15b maximum)."""
+
+ADJACENT_SHIFT_RESILIENCE_DB = 5.0
+"""In-built tolerance when devices sit SKIP = 2 apart (Section 4.3)."""
+
+# --- IC power budget (Section 4.1) -------------------------------------------
+
+IC_POWER_ENVELOPE_DETECTOR_UW = 1.0
+IC_POWER_BASEBAND_UW = 5.7
+IC_POWER_CHIRP_GENERATOR_UW = 36.0
+IC_POWER_SWITCH_NETWORK_UW = 2.5
+IC_POWER_TOTAL_UW = 45.2
+"""TSMC 65 nm LP IC simulation power breakdown (microwatts)."""

@@ -1,0 +1,345 @@
+"""Power-aware cyclic-shift allocation (Section 3.2.3).
+
+The near-far problem: a zero-padded FFT peak carries sinc side lobes, so a
+strong device buries weak devices in nearby bins. The paper's coarse-
+grained fix is allocation: sort devices by SNR and assign shifts so that
+similar-SNR devices sit in adjacent bins and the weakest devices sit at
+the maximum cyclic distance from the strongest. Because the dechirped
+spectrum wraps (Fig. 15b is symmetric), "far" means *cyclic* bin distance
+— so a simple descending-SNR walk around the ring would put the weakest
+device right back next to the strongest at the wrap point. The correct
+layout is the *folded* one the paper's Fig. 8 annotates ("High Power |
+Low Power | High Power"): strong devices at both edges of the spectrum,
+SNR decreasing toward the middle from both sides, weakest devices
+mid-ring — maximally (cyclically) distant from the strong edges.
+
+Association reserves one shift in the high-SNR region (near bin 0) and one
+in the low-SNR region (near the middle), each with SKIP-guards, so joining
+devices of any strength can be heard (Section 3.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import NetScatterConfig
+from repro.errors import AllocationError
+
+
+def cyclic_bin_distance(a: float, b: float, n_bins: int) -> float:
+    """Cyclic distance between two bins on the ``n_bins`` ring."""
+    raw = abs(float(a) - float(b)) % n_bins
+    return min(raw, n_bins - raw)
+
+
+def power_aware_allocation(
+    snrs_db: Sequence[float], config: NetScatterConfig
+) -> Dict[int, int]:
+    """Assign SKIP-spaced cyclic shifts by descending SNR.
+
+    ``snrs_db[i]`` is device ``i``'s SNR at the AP (measured during
+    association). Returns ``device_index -> shift``. The strongest device
+    gets the first data shift after the high-SNR association slot; each
+    subsequent (weaker) device gets the next SKIP-spaced shift, so SNR
+    decreases monotonically with ring position and the weakest devices end
+    up farthest (cyclically) from the strongest.
+    """
+    n_devices = len(snrs_db)
+    if n_devices == 0:
+        raise AllocationError("no devices to allocate")
+    slots = _data_slots(config)
+    if n_devices > len(slots):
+        raise AllocationError(
+            f"{n_devices} devices exceed the {len(slots)}-slot capacity "
+            f"of {config.describe()}"
+        )
+    order = np.argsort(np.asarray(snrs_db, dtype=float))[::-1]
+    indices = _spread_slot_indices(n_devices, len(slots))
+    assignment: Dict[int, int] = {}
+    for rank, device_index in enumerate(order):
+        assignment[int(device_index)] = slots[indices[rank]]
+    return assignment
+
+
+def _spread_slot_indices(n_devices: int, n_slots: int) -> List[int]:
+    """Folded slot indices for descending-SNR ranks.
+
+    Two requirements combine here:
+
+    * *spread*: below capacity, occupied slots spread evenly over the
+      ring, which is why the paper observes an effective SKIP >= 3
+      separation when fewer than half the slots are in use (Section
+      4.4's variance discussion);
+    * *fold*: rank 0 (strongest) takes the first spread position, rank 1
+      the last, rank 2 the second, and so on — strong devices occupy
+      both spectrum edges and the weakest land mid-ring, maximising
+      their cyclic distance from the strong edges (Fig. 8's "High Power
+      | Low Power | High Power" layout).
+    """
+    if n_devices > n_slots:
+        raise AllocationError("more devices than slots")
+    positions = [(k * n_slots) // n_devices for k in range(n_devices)]
+    indices: List[int] = []
+    for rank in range(n_devices):
+        if rank % 2 == 0:
+            indices.append(positions[rank // 2])
+        else:
+            indices.append(positions[n_devices - 1 - rank // 2])
+    return indices
+
+
+def random_allocation(
+    n_devices: int, config: NetScatterConfig, rng=None
+) -> Dict[int, int]:
+    """SKIP-spaced but SNR-blind allocation (the ablation baseline)."""
+    from repro.utils.rng import make_rng
+
+    slots = _data_slots(config)
+    if n_devices > len(slots):
+        raise AllocationError(
+            f"{n_devices} devices exceed the {len(slots)}-slot capacity"
+        )
+    generator = make_rng(rng)
+    chosen = generator.permutation(len(slots))[:n_devices]
+    return {i: slots[int(c)] for i, c in enumerate(chosen)}
+
+
+def _data_slots(config: NetScatterConfig) -> List[int]:
+    """SKIP-spaced data shifts in ring order, skipping association slots.
+
+    The slot list starts just after the high-SNR association shift and
+    walks the ring once, excluding the guard neighbourhoods of both
+    association shifts.
+    """
+    n = config.n_bins
+    skip = config.skip
+    reserved = set()
+    for assoc in association_shifts(config):
+        for guard in range(-skip, skip + 1):
+            reserved.add((assoc + guard) % n)
+    slots = []
+    for step in range(n // skip):
+        shift = (config.skip + step * skip) % n
+        if shift not in reserved:
+            slots.append(shift)
+    return slots
+
+
+def association_shifts(config: NetScatterConfig) -> List[int]:
+    """Reserved association shifts: high-SNR region (bin 0 area) and
+    low-SNR region (mid-spectrum), per Section 3.3.2."""
+    if config.n_association_shifts == 0:
+        return []
+    if config.n_association_shifts == 1:
+        return [0]
+    shifts = [0, (config.n_bins // 2) // config.skip * config.skip]
+    extra = config.n_association_shifts - 2
+    for i in range(extra):
+        # Additional association slots interleave at quarter positions.
+        quarter = (config.n_bins * (i + 1) // 4) // config.skip * config.skip
+        shifts.append(quarter)
+    return shifts[: config.n_association_shifts]
+
+
+@dataclass
+class AllocationEntry:
+    """One device's standing in the allocation table."""
+
+    device_id: int
+    shift: int
+    snr_db: float
+
+
+class AllocationTable:
+    """Incremental power-aware allocation at the AP.
+
+    Maintains the SNR-sorted ring as devices join and leave. A joining
+    device is placed at the rank its SNR deserves; if that requires moving
+    existing devices, the table performs a *full reassignment* — the event
+    the paper handles with the log2(256!)-bit reordering query message.
+    The table reports whether each admit was incremental or required
+    reassignment so the protocol layer can charge the right overhead.
+    """
+
+    def __init__(self, config: NetScatterConfig) -> None:
+        self._config = config
+        self._entries: Dict[int, AllocationEntry] = {}
+        self._slots = _data_slots(config)
+        self.reassignments = 0
+
+    @property
+    def config(self) -> NetScatterConfig:
+        return self._config
+
+    @property
+    def n_devices(self) -> int:
+        return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        return len(self._slots)
+
+    def assignments(self) -> Dict[int, int]:
+        """Current ``device_id -> shift`` map."""
+        return {e.device_id: e.shift for e in self._entries.values()}
+
+    def snr_of(self, device_id: int) -> float:
+        return self._entry(device_id).snr_db
+
+    def shift_of(self, device_id: int) -> int:
+        return self._entry(device_id).shift
+
+    def _entry(self, device_id: int) -> AllocationEntry:
+        if device_id not in self._entries:
+            raise AllocationError(f"device {device_id} is not allocated")
+        return self._entries[device_id]
+
+    def _ranked_ids(self) -> List[int]:
+        """Device ids in descending-SNR order (the canonical ring order)."""
+        return sorted(
+            self._entries,
+            key=lambda d: self._entries[d].snr_db,
+            reverse=True,
+        )
+
+    def _spread_assignment(self) -> Dict[int, int]:
+        """The canonical spread placement for the current population."""
+        ranked = self._ranked_ids()
+        indices = _spread_slot_indices(len(ranked), len(self._slots))
+        return {
+            device_id: self._slots[indices[rank]]
+            for rank, device_id in enumerate(ranked)
+        }
+
+    def _apply_spread(self) -> bool:
+        """Move every device to its spread slot; True if anyone moved."""
+        target = self._spread_assignment()
+        moved = False
+        for device_id, shift in target.items():
+            entry = self._entries[device_id]
+            if entry.shift != shift:
+                moved = moved or entry.shift != -1
+                entry.shift = shift
+        return moved
+
+    def _reassign_all(self) -> None:
+        """Full re-pack announced via the reordering query message."""
+        self._apply_spread()
+        self.reassignments += 1
+
+    def add_device(self, device_id: int, snr_db: float) -> Tuple[int, bool]:
+        """Admit a device; returns ``(shift, reassigned_others)``.
+
+        The newcomer lands at the ring position its SNR deserves. If that
+        displaces existing devices, the admit counts as a full
+        reassignment — the event the paper announces with the
+        log2(256!)-bit reordering query message.
+        """
+        if device_id in self._entries:
+            raise AllocationError(f"device {device_id} already allocated")
+        if self.n_devices >= self.capacity:
+            raise AllocationError(
+                f"network full: {self.capacity} slots in use"
+            )
+        self._entries[device_id] = AllocationEntry(
+            device_id=device_id, shift=-1, snr_db=float(snr_db)
+        )
+        moved_others = self._apply_spread()
+        if moved_others:
+            self.reassignments += 1
+        return self._entries[device_id].shift, moved_others
+
+    def remove_device(self, device_id: int) -> None:
+        """Remove a device and re-spread the survivors."""
+        self._entry(device_id)
+        del self._entries[device_id]
+        if self._entries:
+            self._apply_spread()
+
+    def update_snr(self, device_id: int, snr_db: float) -> bool:
+        """Record a significantly changed SNR; returns True if the ring
+        had to be re-packed (rank changed)."""
+        entry = self._entry(device_id)
+        old_rank = self._ranked_ids().index(device_id)
+        entry.snr_db = float(snr_db)
+        new_rank = self._ranked_ids().index(device_id)
+        if new_rank != old_rank:
+            self._reassign_all()
+            return True
+        return False
+
+    def validate(self) -> None:
+        """Check the allocation invariants; raises on violation.
+
+        * every shift SKIP-aligned and unique,
+        * no device inside an association guard region,
+        * SNR ordering matches ring ordering over the assigned prefix.
+        """
+        seen = set()
+        for entry in self._entries.values():
+            if entry.shift % self._config.skip != 0:
+                raise AllocationError(
+                    f"shift {entry.shift} breaks SKIP alignment"
+                )
+            if entry.shift in seen:
+                raise AllocationError(f"shift {entry.shift} double-booked")
+            seen.add(entry.shift)
+            if entry.shift not in self._slots:
+                raise AllocationError(
+                    f"shift {entry.shift} is reserved or out of range"
+                )
+        expected = self._spread_assignment()
+        for device_id, entry in self._entries.items():
+            if entry.shift != expected[device_id]:
+                raise AllocationError(
+                    "ring order does not match SNR order "
+                    f"(device {device_id})"
+                )
+
+    def min_distance_between(
+        self, device_a: int, device_b: int
+    ) -> float:
+        """Cyclic bin distance between two allocated devices."""
+        return cyclic_bin_distance(
+            self.shift_of(device_a),
+            self.shift_of(device_b),
+            self._config.n_bins,
+        )
+
+    def worst_case_exposure_db(
+        self, side_lobe_profile=None
+    ) -> Optional[float]:
+        """Worst (power delta - tolerable delta) over all device pairs.
+
+        For each ordered pair (strong, weak), the strong device's side
+        lobe at their cyclic distance must stay below the weak device's
+        signal. Returns the worst margin in dB (negative = safe), or
+        ``None`` with fewer than two devices.
+        """
+        from repro.phy.spectrum import side_lobe_profile as make_profile
+
+        if self.n_devices < 2:
+            return None
+        if side_lobe_profile is None:
+            side_lobe_profile = make_profile(
+                self._config.chirp_params, self._config.zero_pad_factor
+            )
+        worst = -np.inf
+        entries = list(self._entries.values())
+        for strong in entries:
+            for weak in entries:
+                if strong.device_id == weak.device_id:
+                    continue
+                delta_db = strong.snr_db - weak.snr_db
+                if delta_db <= 0:
+                    continue
+                distance = cyclic_bin_distance(
+                    strong.shift, weak.shift, self._config.n_bins
+                )
+                lobe_db = side_lobe_profile.at_natural_bin(distance)
+                margin = delta_db + lobe_db  # lobe is negative dB
+                worst = max(worst, margin)
+        return float(worst) if np.isfinite(worst) else None

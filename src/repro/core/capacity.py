@@ -1,0 +1,94 @@
+"""Multi-user Shannon capacity below the noise floor (Section 3.1).
+
+The paper's information-theoretic framing: the multi-user uplink capacity
+``C = BW * log2(1 + N * Ps / Pn)`` grows *linearly* in the device count
+``N`` when ``N * Ps / Pn << 1`` — which is exactly the below-noise regime
+backscatter operates in. NetScatter's linear throughput scaling (Fig. 17)
+is this effect made practical.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.errors import LinkBudgetError
+from repro.utils.conversions import db_to_linear
+
+
+def multiuser_capacity_bps(
+    bandwidth_hz: float, snr_per_device_db: float, n_devices: int
+) -> float:
+    """Exact multi-user AP capacity ``BW * log2(1 + N * snr)``."""
+    if bandwidth_hz <= 0:
+        raise LinkBudgetError("bandwidth must be positive")
+    if n_devices < 0:
+        raise LinkBudgetError("device count must be non-negative")
+    snr = db_to_linear(snr_per_device_db)
+    return bandwidth_hz * math.log2(1.0 + n_devices * snr)
+
+
+def below_noise_approximation_bps(
+    bandwidth_hz: float, snr_per_device_db: float, n_devices: int
+) -> float:
+    """Small-SNR linearisation ``BW/ln2 * N * snr`` (the paper's form)."""
+    if bandwidth_hz <= 0:
+        raise LinkBudgetError("bandwidth must be positive")
+    if n_devices < 0:
+        raise LinkBudgetError("device count must be non-negative")
+    snr = db_to_linear(snr_per_device_db)
+    return bandwidth_hz * n_devices * snr / math.log(2.0)
+
+
+def approximation_error(
+    snr_per_device_db: float, n_devices: int
+) -> float:
+    """Relative error of the linearisation at an operating point.
+
+    Useful for validating where the "capacity scales linearly" claim
+    holds: the error is below 5% whenever ``N * snr < 0.1``.
+    """
+    if n_devices == 0:
+        return 0.0
+    exact = multiuser_capacity_bps(1.0, snr_per_device_db, n_devices)
+    approx = below_noise_approximation_bps(1.0, snr_per_device_db, n_devices)
+    if exact == 0.0:
+        raise LinkBudgetError("exact capacity is zero")
+    return abs(approx - exact) / exact
+
+
+def capacity_scaling_series(
+    bandwidth_hz: float,
+    snr_per_device_db: float,
+    device_counts: Sequence[int],
+) -> List[Dict[str, float]]:
+    """Capacity vs device count, exact and linearised (analysis series)."""
+    rows = []
+    for n in device_counts:
+        rows.append(
+            {
+                "n_devices": float(n),
+                "capacity_bps": multiuser_capacity_bps(
+                    bandwidth_hz, snr_per_device_db, n
+                ),
+                "linear_approx_bps": below_noise_approximation_bps(
+                    bandwidth_hz, snr_per_device_db, n
+                ),
+            }
+        )
+    return rows
+
+
+def netscatter_utilisation(
+    achieved_bps: float, bandwidth_hz: float
+) -> float:
+    """Fraction of the ``BW`` aggregate-throughput ceiling achieved.
+
+    Distributed CSS tops out at ``BW`` bits/s (every bin carrying one OOK
+    bit per symbol); the deployed SKIP = 2 halves it.
+    """
+    if bandwidth_hz <= 0:
+        raise LinkBudgetError("bandwidth must be positive")
+    if achieved_bps < 0:
+        raise LinkBudgetError("throughput must be non-negative")
+    return achieved_bps / bandwidth_hz

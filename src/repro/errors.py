@@ -1,0 +1,41 @@
+"""Exception hierarchy for the NetScatter reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A modulation / protocol configuration is inconsistent or unsupported."""
+
+
+class AllocationError(ReproError):
+    """Cyclic-shift allocation failed (e.g. network is at capacity)."""
+
+
+class AssociationError(ReproError):
+    """A device could not be associated with the access point."""
+
+
+class DecodingError(ReproError):
+    """The receiver could not decode a frame (e.g. no preamble found)."""
+
+
+class SynchronizationError(DecodingError):
+    """Packet-start estimation failed."""
+
+
+class LinkBudgetError(ReproError):
+    """A link-budget computation received out-of-domain inputs."""
+
+
+class HardwareModelError(ReproError):
+    """A hardware model (impedance, oscillator, MCU) received invalid input."""
+
+
+class ProtocolError(ReproError):
+    """A protocol message is malformed or arrived in an invalid state."""

@@ -1,0 +1,13 @@
+"""Experiment drivers: one module per paper figure/table.
+
+Each module exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.common.ExperimentResult` whose ``report()``
+prints the same rows/series the paper's figure shows, plus the headline
+comparisons recorded in EXPERIMENTS.md. The benchmark harness calls these
+with reduced trial counts; the numbers in EXPERIMENTS.md come from the
+default (larger) counts.
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

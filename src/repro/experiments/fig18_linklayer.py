@@ -1,0 +1,109 @@
+"""Fig. 18 — link-layer data rate vs number of concurrent devices.
+
+Adds the end-to-end overheads to Fig. 17's payload-only comparison: the
+AP query (32 bits for NetScatter config 1, 1760 bits for config 2, 28
+bits per poll for LoRa) and the 8-symbol preamble — which NetScatter pays
+once per round for everyone and TDMA pays once per device. Paper gains at
+256 devices: 61.9x / 14.1x (config 1) and 50.9x / 11.6x (config 2) over
+LoRa without / with rate adaptation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.baselines.lora_backscatter import LoRaBackscatterNetwork
+from repro.channel.deployment import Deployment, paper_deployment
+from repro.constants import QUERY_BITS_CONFIG1, QUERY_BITS_CONFIG2
+from repro.core.config import NetScatterConfig
+from repro.experiments.common import ExperimentResult
+from repro.protocol.network import NetworkSimulator
+from repro.utils.rng import RngLike, child_rng, make_rng
+
+DEFAULT_DEVICE_COUNTS = (1, 16, 32, 64, 96, 128, 160, 192, 224, 256)
+
+PAPER_GAINS = {
+    ("config1", "fixed"): 61.9,
+    ("config1", "ra"): 14.1,
+    ("config2", "fixed"): 50.9,
+    ("config2", "ra"): 11.6,
+}
+
+
+def run(
+    deployment: Optional[Deployment] = None,
+    device_counts: Sequence[int] = DEFAULT_DEVICE_COUNTS,
+    n_rounds: int = 3,
+    rng: RngLike = None,
+) -> ExperimentResult:
+    """Sweep device counts; tabulate link-layer rates for all schemes."""
+    generator = make_rng(rng)
+    if deployment is None:
+        deployment = paper_deployment(rng=child_rng(generator, 0))
+    config = NetScatterConfig(n_association_shifts=0)
+
+    result = ExperimentResult(
+        experiment_id="fig18",
+        title="Link-layer data rate vs concurrent devices (kbps)",
+        columns=[
+            "n_devices",
+            "lora_fixed_kbps",
+            "lora_ra_kbps",
+            "netscatter_cfg1_kbps",
+            "netscatter_cfg2_kbps",
+        ],
+    )
+    for count in device_counts:
+        subset = deployment.subset(count)
+        snrs = subset.snrs_db().tolist()
+        fixed = LoRaBackscatterNetwork(snrs, rate_adaptation=False)
+        adaptive = LoRaBackscatterNetwork(snrs, rate_adaptation=True)
+        row: Dict[str, object] = {
+            "n_devices": count,
+            "lora_fixed_kbps": fixed.link_layer_rate_bps() / 1e3,
+            "lora_ra_kbps": adaptive.link_layer_rate_bps() / 1e3,
+        }
+        for name, query_bits in (
+            ("netscatter_cfg1_kbps", QUERY_BITS_CONFIG1),
+            ("netscatter_cfg2_kbps", QUERY_BITS_CONFIG2),
+        ):
+            sim = NetworkSimulator(
+                subset,
+                config=config,
+                query_bits=query_bits,
+                rng=child_rng(generator, count),
+            )
+            metrics = sim.run_rounds(n_rounds)
+            row[name] = metrics.link_layer_rate_bps / 1e3
+        result.rows.append(row)
+
+    last = result.rows[-1]
+    gains = {
+        ("config1", "fixed"): last["netscatter_cfg1_kbps"]
+        / last["lora_fixed_kbps"],
+        ("config1", "ra"): last["netscatter_cfg1_kbps"]
+        / last["lora_ra_kbps"],
+        ("config2", "fixed"): last["netscatter_cfg2_kbps"]
+        / last["lora_fixed_kbps"],
+        ("config2", "ra"): last["netscatter_cfg2_kbps"]
+        / last["lora_ra_kbps"],
+    }
+    for key, paper_value in PAPER_GAINS.items():
+        measured = gains[key]
+        result.check(
+            f"{key[0]} vs {key[1]}: gain near the paper's "
+            f"{paper_value}x (within 2x)",
+            paper_value / 2.0 <= measured <= paper_value * 2.0,
+        )
+    result.check(
+        "config 2's longer query costs link-layer rate vs config 1",
+        last["netscatter_cfg2_kbps"] < last["netscatter_cfg1_kbps"],
+    )
+    result.notes.append(
+        "measured gains at 256: "
+        + ", ".join(
+            f"{k[0]}/{k[1]} {gains[k]:.1f}x (paper {v}x)"
+            for k, v in PAPER_GAINS.items()
+        )
+    )
+    return result

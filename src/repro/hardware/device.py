@@ -1,0 +1,244 @@
+"""The composed backscatter device (tag).
+
+Wires the hardware blocks together into a behavioural tag model:
+envelope detector (query RX + RSSI), crystal oscillator (CFO), MCU/FPGA
+chain (turnaround jitter), switch network (discrete TX power), and the
+ON-OFF keyed CSS transmitter. The device also hosts the tag-side half of
+the protocol state: association status, assigned cyclic shift, baseline
+RSSI and the fine-grained power-adjustment rule of Section 3.2.3.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import HardwareModelError, ProtocolError
+from repro.hardware.envelope_detector import EnvelopeDetector
+from repro.hardware.mcu import McuTimingModel
+from repro.hardware.oscillator import CrystalOscillator, tag_oscillator
+from repro.hardware.switch_network import SwitchNetwork
+from repro.phy.chirp import ChirpParams
+from repro.phy.onoff import OnOffKeyedTransmitter
+from repro.utils.rng import RngLike, make_rng
+
+
+class DeviceState(enum.Enum):
+    """Tag protocol state."""
+
+    UNASSOCIATED = "unassociated"
+    ASSOCIATING = "associating"
+    ASSOCIATED = "associated"
+
+
+@dataclass(frozen=True)
+class TransmitImpairments:
+    """Impairments stamped onto one transmission, for the channel to apply."""
+
+    hardware_delay_s: float
+    cfo_hz: float
+    power_gain_db: float
+
+
+class BackscatterDevice:
+    """A behavioural NetScatter tag.
+
+    Parameters
+    ----------
+    device_id:
+        Stable identifier (the 8-bit network ID once associated).
+    params:
+        Network-wide chirp configuration.
+    rssi_low_threshold_dbm:
+        Below this query RSSI the tag associates at maximum power;
+        above it, at the middle level (leaving adjustment headroom both
+        ways, per Section 3.2.3).
+    """
+
+    MAX_SKIPPED_BEFORE_REASSOCIATION = 2
+
+    def __init__(
+        self,
+        device_id: int,
+        params: ChirpParams,
+        oscillator: Optional[CrystalOscillator] = None,
+        timing: Optional[McuTimingModel] = None,
+        switch: Optional[SwitchNetwork] = None,
+        detector: Optional[EnvelopeDetector] = None,
+        rssi_low_threshold_dbm: float = -40.0,
+        rng: RngLike = None,
+    ) -> None:
+        if device_id < 0:
+            raise HardwareModelError("device_id must be non-negative")
+        self._rng = make_rng(rng)
+        self.device_id = int(device_id)
+        self.params = params
+        self.oscillator = oscillator or tag_oscillator()
+        if self.oscillator._cut_error_ppm is None:
+            self.oscillator.calibrate(self._rng)
+        self.timing = timing or McuTimingModel()
+        self.switch = switch or SwitchNetwork()
+        self.detector = detector or EnvelopeDetector()
+        self.rssi_low_threshold_dbm = float(rssi_low_threshold_dbm)
+
+        self.state = DeviceState.UNASSOCIATED
+        self.assigned_shift: Optional[int] = None
+        self.baseline_rssi_dbm: Optional[float] = None
+        self.skipped_rounds = 0
+        self._transmitter: Optional[OnOffKeyedTransmitter] = None
+
+    # ------------------------------------------------------------------ #
+    # association-side behaviour
+    # ------------------------------------------------------------------ #
+
+    def hear_query(self, true_rssi_dbm: float) -> Optional[float]:
+        """Measure the query RSSI; ``None`` if below detector sensitivity."""
+        return self.detector.measure_rssi_dbm(true_rssi_dbm, self._rng)
+
+    def receive_query_waveform(
+        self,
+        envelope: np.ndarray,
+        samples_per_bit: int,
+        true_rssi_dbm: float,
+        n_reassignment_devices: Optional[int] = None,
+    ):
+        """Demodulate and parse an ASK query waveform end-to-end.
+
+        The downlink path the MCU runs: envelope detector -> bit slicer
+        -> query parser. Returns ``(QueryMessage, rssi_dbm)``, or
+        ``(None, None)`` when the query is below sensitivity.
+        """
+        from repro.protocol.messages import parse_query_bits
+
+        rssi = self.hear_query(true_rssi_dbm)
+        if rssi is None:
+            return None, None
+        bits = self.detector.demodulate_ask(envelope, samples_per_bit)
+        query = parse_query_bits(bits, n_reassignment_devices)
+        return query, rssi
+
+    def choose_association_power(self, query_rssi_dbm: float) -> float:
+        """Initial power level for the association request.
+
+        Low RSSI (far tag) -> maximum power; otherwise the middle level so
+        the tag can later adjust both up and down.
+        """
+        if query_rssi_dbm < self.rssi_low_threshold_dbm:
+            self.switch.select(0)
+        else:
+            self.switch.select(self.switch.middle_index())
+        return self.switch.gain_db
+
+    def begin_association(self, query_rssi_dbm: float) -> float:
+        """Enter the associating state and pick the request power."""
+        if self.state == DeviceState.ASSOCIATED:
+            raise ProtocolError("device is already associated")
+        self.state = DeviceState.ASSOCIATING
+        return self.choose_association_power(query_rssi_dbm)
+
+    def complete_association(
+        self, assigned_shift: int, query_rssi_dbm: float
+    ) -> None:
+        """Accept the AP's shift assignment; record the RSSI baseline."""
+        if not 0 <= assigned_shift < self.params.n_shifts:
+            raise ProtocolError(
+                f"assigned shift {assigned_shift} out of range"
+            )
+        self.assigned_shift = int(assigned_shift)
+        self.baseline_rssi_dbm = float(query_rssi_dbm)
+        self.state = DeviceState.ASSOCIATED
+        self.skipped_rounds = 0
+        self._transmitter = OnOffKeyedTransmitter(
+            self.params, self.assigned_shift, self.switch.gain_db
+        )
+
+    def reset_association(self) -> None:
+        """Drop back to the unassociated state (triggers re-association)."""
+        self.state = DeviceState.UNASSOCIATED
+        self.assigned_shift = None
+        self.baseline_rssi_dbm = None
+        self.skipped_rounds = 0
+        self._transmitter = None
+
+    # ------------------------------------------------------------------ #
+    # fine-grained power adjustment (Section 3.2.3)
+    # ------------------------------------------------------------------ #
+
+    def adjust_power(
+        self, query_rssi_dbm: float, hysteresis_db: float = 1.5
+    ) -> Tuple[float, bool]:
+        """Zero-overhead power adjustment before a concurrent round.
+
+        Compares the current query RSSI against the association baseline:
+        a stronger channel means the tag's backscatter would arrive hotter
+        than its allocated slot tolerates, so it steps its gain *down*;
+        a weaker channel steps it *up*. Returns ``(gain_db, participate)``.
+        ``participate`` is False when the tag cannot compensate with its
+        remaining levels and sits this round out; after two skipped rounds
+        it re-initiates association.
+        """
+        if self.state != DeviceState.ASSOCIATED:
+            raise ProtocolError("power adjustment requires association")
+        delta_db = query_rssi_dbm - self.baseline_rssi_dbm
+        participate = True
+        if delta_db > hysteresis_db:
+            if self.switch.can_step_down():
+                self.switch.step_down()
+            elif delta_db > 2.0 * hysteresis_db:
+                participate = False
+        elif delta_db < -hysteresis_db:
+            if self.switch.can_step_up():
+                self.switch.step_up()
+            elif delta_db < -2.0 * hysteresis_db:
+                participate = False
+
+        if participate:
+            self.skipped_rounds = 0
+        else:
+            self.skipped_rounds += 1
+            if self.skipped_rounds > self.MAX_SKIPPED_BEFORE_REASSOCIATION:
+                self.reset_association()
+        if self._transmitter is not None:
+            self._transmitter.power_gain_db = self.switch.gain_db
+        return self.switch.gain_db, participate
+
+    # ------------------------------------------------------------------ #
+    # transmission
+    # ------------------------------------------------------------------ #
+
+    @property
+    def transmitter(self) -> OnOffKeyedTransmitter:
+        """The OOK transmitter bound to the assigned shift."""
+        if self._transmitter is None:
+            raise ProtocolError("device has no assigned cyclic shift")
+        return self._transmitter
+
+    def draw_impairments(self) -> TransmitImpairments:
+        """Per-packet impairment draw (turnaround delay + CFO)."""
+        return TransmitImpairments(
+            hardware_delay_s=self.timing.sample_latency_s(self._rng),
+            cfo_hz=self.oscillator.offset_hz(self._rng),
+            power_gain_db=self.switch.gain_db,
+        )
+
+    def transmit_packet(
+        self,
+        bits: Sequence[int],
+        n_upchirps: int = 6,
+        n_downchirps: int = 2,
+    ) -> Tuple[np.ndarray, TransmitImpairments]:
+        """Build one uplink packet waveform plus its impairment stamp.
+
+        The waveform is ideal complex baseband at the critical rate; the
+        returned impairments tell the channel how late and how detuned
+        this particular transmission is.
+        """
+        waveform = self.transmitter.packet(bits, n_upchirps, n_downchirps)
+        return waveform, self.draw_impairments()
+
+    def random_payload(self, n_bits: int) -> List[int]:
+        """Uniform random payload bits from the device's own stream."""
+        return self._rng.integers(0, 2, size=int(n_bits)).tolist()

@@ -1,0 +1,91 @@
+"""Envelope detector: the tag's downlink receiver and RSSI sensor.
+
+The tag hears the AP's ASK queries through a passive envelope detector
+with -49 dBm sensitivity. Besides demodulating query bits, the detector's
+output level is the tag's only channel-state information — the signal
+strength measurement that drives the reciprocity-based power adjustment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.constants import ENVELOPE_DETECTOR_SENSITIVITY_DBM
+from repro.errors import HardwareModelError
+from repro.utils.rng import RngLike, make_rng
+
+
+@dataclass(frozen=True)
+class EnvelopeDetector:
+    """Behavioural envelope-detector model.
+
+    Attributes
+    ----------
+    sensitivity_dbm:
+        Minimum carrier power at which queries decode (paper: -49 dBm).
+    rssi_noise_std_db:
+        Standard deviation of the RSSI measurement error; envelope
+        detectors are coarse power meters, so a ~1 dB error is realistic.
+    """
+
+    sensitivity_dbm: float = ENVELOPE_DETECTOR_SENSITIVITY_DBM
+    rssi_noise_std_db: float = 1.0
+
+    def can_decode(self, rssi_dbm: float) -> bool:
+        """Whether a query at ``rssi_dbm`` is decodable at all."""
+        return rssi_dbm >= self.sensitivity_dbm
+
+    def measure_rssi_dbm(
+        self, true_rssi_dbm: float, rng: RngLike = None
+    ) -> Optional[float]:
+        """Noisy RSSI reading, or ``None`` below sensitivity."""
+        if not self.can_decode(true_rssi_dbm):
+            return None
+        generator = make_rng(rng)
+        if self.rssi_noise_std_db <= 0:
+            return float(true_rssi_dbm)
+        return float(true_rssi_dbm + generator.normal(scale=self.rssi_noise_std_db))
+
+    def demodulate_ask(
+        self,
+        envelope: np.ndarray,
+        samples_per_bit: int,
+        threshold: Optional[float] = None,
+    ) -> List[int]:
+        """Demodulate an ASK (OOK) envelope into bits.
+
+        Integrate-and-dump per bit period against a threshold; the default
+        threshold is the midpoint of the observed envelope range, which is
+        what a self-biasing comparator converges to.
+        """
+        if samples_per_bit < 1:
+            raise HardwareModelError("samples_per_bit must be >= 1")
+        envelope = np.abs(np.asarray(envelope, dtype=float))
+        n_bits = envelope.size // samples_per_bit
+        if n_bits == 0:
+            raise HardwareModelError("envelope shorter than one bit period")
+        trimmed = envelope[: n_bits * samples_per_bit]
+        per_bit = trimmed.reshape(n_bits, samples_per_bit).mean(axis=1)
+        if threshold is None:
+            threshold = 0.5 * (per_bit.max() + per_bit.min())
+        return [int(level > threshold) for level in per_bit]
+
+
+def ask_modulate(
+    bits: Sequence[int],
+    samples_per_bit: int,
+    high: float = 1.0,
+    low: float = 0.0,
+) -> np.ndarray:
+    """Generate an ASK envelope for ``bits`` (AP downlink waveform)."""
+    if samples_per_bit < 1:
+        raise HardwareModelError("samples_per_bit must be >= 1")
+    levels = []
+    for bit in bits:
+        if bit not in (0, 1):
+            raise HardwareModelError(f"bits must be 0/1, got {bit!r}")
+        levels.append(high if bit else low)
+    return np.repeat(np.asarray(levels, dtype=float), samples_per_bit)

@@ -1,0 +1,129 @@
+"""Backscatter impedance modulation and transmit power gain (Fig. 7a).
+
+A backscatter tag transmits by toggling its antenna load between two
+impedances ``Z0`` and ``Z1``; the radiated (modulated) power is set by the
+difference of the two reflection coefficients:
+
+    Gain_power = |Gamma0 - Gamma1|^2 / 4
+
+with ``Gamma = (Z - Z_ant*) / (Z + Z_ant)``. Switching between a short
+(0 ohm) and an open (infinite) maximises the difference (0 dB gain);
+intermediate ``Z0`` values realise the reduced power levels NetScatter
+uses for its fine-grained power adjustment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import HardwareModelError
+
+ANTENNA_IMPEDANCE_OHM = 50.0
+"""Reference antenna impedance (real 50-ohm whip)."""
+
+
+def reflection_coefficient(
+    z_load_ohm: Optional[float],
+    z_antenna_ohm: float = ANTENNA_IMPEDANCE_OHM,
+) -> complex:
+    """Reflection coefficient of a (real) load against the antenna.
+
+    ``None`` stands for an open circuit (``Z -> infinity``, ``Gamma = 1``).
+    """
+    if z_antenna_ohm <= 0:
+        raise HardwareModelError("antenna impedance must be positive")
+    if z_load_ohm is None or math.isinf(z_load_ohm):
+        return complex(1.0, 0.0)
+    if z_load_ohm < 0:
+        raise HardwareModelError("load impedance must be non-negative")
+    return complex(
+        (z_load_ohm - z_antenna_ohm) / (z_load_ohm + z_antenna_ohm), 0.0
+    )
+
+
+def backscatter_power_gain(
+    z0_ohm: Optional[float],
+    z1_ohm: Optional[float],
+    z_antenna_ohm: float = ANTENNA_IMPEDANCE_OHM,
+) -> float:
+    """Linear power gain ``|Gamma0 - Gamma1|^2 / 4`` of a two-state switch.
+
+    Equals 1.0 (0 dB) for the short/open extreme pair.
+    """
+    gamma0 = reflection_coefficient(z0_ohm, z_antenna_ohm)
+    gamma1 = reflection_coefficient(z1_ohm, z_antenna_ohm)
+    return abs(gamma0 - gamma1) ** 2 / 4.0
+
+
+def backscatter_power_gain_db(
+    z0_ohm: Optional[float],
+    z1_ohm: Optional[float],
+    z_antenna_ohm: float = ANTENNA_IMPEDANCE_OHM,
+) -> float:
+    """Power gain in dB (0 dB = maximum, short/open switching)."""
+    gain = backscatter_power_gain(z0_ohm, z1_ohm, z_antenna_ohm)
+    if gain <= 0.0:
+        return float("-inf")
+    return 10.0 * math.log10(gain)
+
+
+def gain_sweep(
+    z0_values_ohm: np.ndarray,
+    z1_ohm: Optional[float] = None,
+    z_antenna_ohm: float = ANTENNA_IMPEDANCE_OHM,
+) -> np.ndarray:
+    """Gain (dB) as a function of ``Z0`` with ``Z1`` fixed (Fig. 7a).
+
+    The paper's Fig. 7a sweeps ``Z0`` from 0 to 1000 ohm against an open
+    ``Z1`` and plots the gain normalised to maximum power; this reproduces
+    that curve.
+    """
+    z0_values_ohm = np.asarray(z0_values_ohm, dtype=float)
+    return np.array(
+        [
+            backscatter_power_gain_db(z0, z1_ohm, z_antenna_ohm)
+            for z0 in z0_values_ohm
+        ]
+    )
+
+
+def solve_z0_for_gain_db(
+    target_gain_db: float,
+    z1_ohm: Optional[float] = None,
+    z_antenna_ohm: float = ANTENNA_IMPEDANCE_OHM,
+) -> float:
+    """Find the real ``Z0`` realising ``target_gain_db`` against open ``Z1``.
+
+    Inverts the gain expression on the monotone branch ``Z0 >= 0`` going
+    up from the short: gains weaken as ``Z0`` rises toward the antenna
+    impedance. Used to pick the resistor values of the 3-level switch
+    network. Raises for unrealisable (positive) gains.
+    """
+    if target_gain_db > 0.0:
+        raise HardwareModelError("backscatter gain cannot exceed 0 dB")
+    gamma1 = reflection_coefficient(z1_ohm, z_antenna_ohm)
+    # |Gamma0 - Gamma1| needed for the target gain:
+    required_delta = 2.0 * math.sqrt(10.0 ** (target_gain_db / 10.0))
+    # With real impedances, Gamma0 = gamma1.real - required_delta.
+    gamma0 = gamma1.real - required_delta
+    if gamma0 <= -1.0:
+        # The exact 0 dB endpoint maps to the short.
+        if math.isclose(gamma0, -1.0, abs_tol=1e-12):
+            return 0.0
+        raise HardwareModelError(
+            f"gain {target_gain_db} dB not realisable against this Z1"
+        )
+    return z_antenna_ohm * (1.0 + gamma0) / (1.0 - gamma0)
+
+
+def paper_fig7a_series(
+    n_points: int = 101, z0_max_ohm: float = 1000.0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The (Z0, gain dB) series of Fig. 7a."""
+    if n_points < 2:
+        raise HardwareModelError("need at least two sweep points")
+    z0 = np.linspace(0.0, z0_max_ohm, n_points)
+    return z0, gain_sweep(z0)

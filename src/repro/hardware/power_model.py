@@ -1,0 +1,102 @@
+"""IC power budget of the NetScatter tag (Section 4.1, IC simulation).
+
+The paper reports a TSMC 65 nm LP ASIC simulation totalling 45.2 uW:
+envelope detector (<1 uW), baseband processor (5.7 uW), chirp generator
+(36 uW) and switch network (2.5 uW). We keep this as a static budget model
+with energy-per-packet accounting so examples can reason about battery /
+harvesting feasibility — one of the paper's motivating constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.constants import (
+    IC_POWER_BASEBAND_UW,
+    IC_POWER_CHIRP_GENERATOR_UW,
+    IC_POWER_ENVELOPE_DETECTOR_UW,
+    IC_POWER_SWITCH_NETWORK_UW,
+)
+from repro.errors import HardwareModelError
+from repro.phy.chirp import ChirpParams
+from repro.phy.packet import PacketStructure
+
+
+@dataclass(frozen=True)
+class IcPowerBudget:
+    """Static power budget of the tag ASIC (microwatts per block)."""
+
+    envelope_detector_uw: float = IC_POWER_ENVELOPE_DETECTOR_UW
+    baseband_uw: float = IC_POWER_BASEBAND_UW
+    chirp_generator_uw: float = IC_POWER_CHIRP_GENERATOR_UW
+    switch_network_uw: float = IC_POWER_SWITCH_NETWORK_UW
+
+    def __post_init__(self) -> None:
+        for name in (
+            "envelope_detector_uw",
+            "baseband_uw",
+            "chirp_generator_uw",
+            "switch_network_uw",
+        ):
+            if getattr(self, name) < 0:
+                raise HardwareModelError(f"{name} must be non-negative")
+
+    @property
+    def total_uw(self) -> float:
+        """Total active power (paper: 45.2 uW)."""
+        return (
+            self.envelope_detector_uw
+            + self.baseband_uw
+            + self.chirp_generator_uw
+            + self.switch_network_uw
+        )
+
+    @property
+    def rx_only_uw(self) -> float:
+        """Power while only listening for queries (detector + baseband)."""
+        return self.envelope_detector_uw + self.baseband_uw
+
+    def breakdown(self) -> Dict[str, float]:
+        """Per-block power map, for reporting."""
+        return {
+            "envelope_detector_uw": self.envelope_detector_uw,
+            "baseband_uw": self.baseband_uw,
+            "chirp_generator_uw": self.chirp_generator_uw,
+            "switch_network_uw": self.switch_network_uw,
+            "total_uw": self.total_uw,
+        }
+
+    def energy_per_packet_uj(
+        self, params: ChirpParams, structure: PacketStructure
+    ) -> float:
+        """Transmit energy of one uplink packet (microjoules)."""
+        return self.total_uw * structure.airtime_s(params)
+
+    def packets_per_day_on_battery(
+        self,
+        params: ChirpParams,
+        structure: PacketStructure,
+        battery_mah: float = 225.0,
+        battery_voltage_v: float = 3.0,
+        lifetime_days: float = 365.0,
+        duty_cycle_overhead: float = 1.2,
+    ) -> float:
+        """Packets/day sustainable on a button cell for ``lifetime_days``.
+
+        Back-of-envelope feasibility matching the paper's motivation
+        (CR2032-class cells and power harvesting): battery energy divided
+        across the lifetime, minus the always-on receive floor.
+        """
+        if battery_mah <= 0 or battery_voltage_v <= 0 or lifetime_days <= 0:
+            raise HardwareModelError("battery parameters must be positive")
+        battery_uj = battery_mah * 3.6 * battery_voltage_v * 1e6
+        budget_per_day_uj = battery_uj / lifetime_days
+        rx_floor_uj = self.rx_only_uw * 86400.0
+        available_uj = budget_per_day_uj - rx_floor_uj
+        if available_uj <= 0:
+            return 0.0
+        per_packet = (
+            self.energy_per_packet_uj(params, structure) * duty_cycle_overhead
+        )
+        return available_uj / per_packet

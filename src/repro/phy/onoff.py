@@ -1,0 +1,117 @@
+"""ON-OFF keyed transmission over one assigned cyclic shift.
+
+This is the device half of distributed CSS coding (Fig. 2b): each device
+owns one cyclic shift and sends '1' by transmitting its shifted upchirp and
+'0' by staying silent for the symbol duration. Per-device bitrate is one
+bit per symbol, ``BW / 2^SF`` bits/s.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.phy.chirp import (
+    ChirpParams,
+    cyclic_shifted_downchirp,
+    cyclic_shifted_upchirp,
+)
+from repro.utils.conversions import amplitude_from_db
+
+
+class OnOffKeyedTransmitter:
+    """Per-device OOK transmitter over an assigned cyclic shift.
+
+    Parameters
+    ----------
+    params:
+        Chirp configuration shared by the whole network.
+    cyclic_shift:
+        The device's assigned shift; its FFT bin at the receiver.
+    power_gain_db:
+        Transmit power gain relative to the device's maximum (0, -4 or
+        -10 dB on the paper's hardware); applied as an amplitude scale.
+    """
+
+    def __init__(
+        self,
+        params: ChirpParams,
+        cyclic_shift: int,
+        power_gain_db: float = 0.0,
+    ) -> None:
+        if not 0 <= int(cyclic_shift) < params.n_shifts:
+            raise ConfigurationError(
+                f"cyclic shift must be in [0, {params.n_shifts}), "
+                f"got {cyclic_shift}"
+            )
+        self._params = params
+        self._shift = int(cyclic_shift)
+        self._power_gain_db = float(power_gain_db)
+
+    @property
+    def params(self) -> ChirpParams:
+        return self._params
+
+    @property
+    def cyclic_shift(self) -> int:
+        return self._shift
+
+    @property
+    def power_gain_db(self) -> float:
+        return self._power_gain_db
+
+    @power_gain_db.setter
+    def power_gain_db(self, value: float) -> None:
+        self._power_gain_db = float(value)
+
+    @property
+    def bitrate_bps(self) -> float:
+        """Per-device OOK bitrate, one bit per chirp symbol."""
+        return self._params.symbol_rate_hz
+
+    def _amplitude(self) -> float:
+        return amplitude_from_db(self._power_gain_db)
+
+    def symbol(self, bit: int) -> np.ndarray:
+        """One OOK symbol: the shifted upchirp for '1', silence for '0'."""
+        if bit not in (0, 1):
+            raise ConfigurationError(f"bit must be 0 or 1, got {bit!r}")
+        n = self._params.n_samples
+        if bit == 0:
+            return np.zeros(n, dtype=complex)
+        return self._amplitude() * cyclic_shifted_upchirp(
+            self._params, self._shift
+        )
+
+    def preamble(
+        self, n_upchirps: int = 6, n_downchirps: int = 2
+    ) -> np.ndarray:
+        """Preamble of the device's own shifted up- and downchirps.
+
+        All devices transmit their preambles concurrently, each on its own
+        shift (Section 3.3.1), so the AP detects active devices from the
+        repeated peaks and learns a per-device power reference.
+        """
+        up = cyclic_shifted_upchirp(self._params, self._shift)
+        down = cyclic_shifted_downchirp(self._params, self._shift)
+        parts = [up] * int(n_upchirps) + [down] * int(n_downchirps)
+        return self._amplitude() * np.concatenate(parts)
+
+    def payload(self, bits: Sequence[int]) -> np.ndarray:
+        """OOK-modulated payload frame for ``bits``."""
+        if len(bits) == 0:
+            return np.zeros(0, dtype=complex)
+        return np.concatenate([self.symbol(b) for b in bits])
+
+    def packet(
+        self,
+        bits: Sequence[int],
+        n_upchirps: int = 6,
+        n_downchirps: int = 2,
+    ) -> np.ndarray:
+        """Full packet: preamble followed by the OOK payload."""
+        return np.concatenate(
+            [self.preamble(n_upchirps, n_downchirps), self.payload(bits)]
+        )

@@ -1,0 +1,155 @@
+"""Network association (Section 3.3.2, Fig. 10).
+
+Association runs *concurrently* with data traffic: two cyclic shifts are
+reserved — one in the high-SNR region, one in the low-SNR region — and a
+joining device picks its region from the query RSSI. The AP measures the
+newcomer's signal strength, allocates a shift through the power-aware
+table, piggybacks the grant on the next query, and confirms on receiving
+the Association ACK in the granted shift.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.allocation import AllocationTable, association_shifts
+from repro.core.config import NetScatterConfig
+from repro.errors import AssociationError
+from repro.protocol.messages import AssociationResponse
+
+
+class AssociationPhase(enum.Enum):
+    """AP-side lifecycle of one joining device."""
+
+    REQUESTED = "requested"
+    GRANTED = "granted"
+    CONFIRMED = "confirmed"
+
+
+@dataclass
+class PendingAssociation:
+    """AP-side record of an in-flight association."""
+
+    device_id: int
+    snr_db: float
+    phase: AssociationPhase = AssociationPhase.REQUESTED
+    granted_shift: Optional[int] = None
+    grant_repeats: int = 0
+
+
+class AssociationController:
+    """AP-side association state machine over an allocation table."""
+
+    MAX_GRANT_REPEATS = 5
+
+    def __init__(self, config: NetScatterConfig) -> None:
+        self._config = config
+        self._table = AllocationTable(config)
+        self._pending: Dict[int, PendingAssociation] = {}
+        self._assoc_shifts = association_shifts(config)
+
+    @property
+    def table(self) -> AllocationTable:
+        return self._table
+
+    @property
+    def association_shifts(self) -> List[int]:
+        """The reserved request shifts (high-SNR first)."""
+        return list(self._assoc_shifts)
+
+    def request_shift_for_rssi(
+        self, query_rssi_dbm: float, low_threshold_dbm: float = -40.0
+    ) -> int:
+        """Which reserved shift a joining device should request on.
+
+        Strong downlink -> the tag is near -> high-SNR region shift;
+        weak -> low-SNR region shift. Mirrors the device-side choice.
+        """
+        if not self._assoc_shifts:
+            raise AssociationError("configuration reserves no association shifts")
+        if len(self._assoc_shifts) == 1:
+            return self._assoc_shifts[0]
+        if query_rssi_dbm >= low_threshold_dbm:
+            return self._assoc_shifts[0]
+        return self._assoc_shifts[1]
+
+    def handle_request(
+        self, device_id: int, measured_snr_db: float
+    ) -> Tuple[AssociationResponse, bool]:
+        """Process an association request heard on a reserved shift.
+
+        Allocates a shift and returns the grant to piggyback on the next
+        query, plus whether the admit displaced existing devices (needs a
+        full-reassignment query).
+        """
+        if device_id in self._pending:
+            pending = self._pending[device_id]
+            if pending.phase == AssociationPhase.GRANTED:
+                # Duplicate request: the grant was lost; repeat it.
+                return self._grant_message(pending), False
+            raise AssociationError(
+                f"device {device_id} already mid-association"
+            )
+        shift, reassigned = self._table.add_device(device_id, measured_snr_db)
+        pending = PendingAssociation(
+            device_id=device_id,
+            snr_db=measured_snr_db,
+            phase=AssociationPhase.GRANTED,
+            granted_shift=shift,
+        )
+        self._pending[device_id] = pending
+        return self._grant_message(pending), reassigned
+
+    def _grant_message(self, pending: PendingAssociation) -> AssociationResponse:
+        pending.grant_repeats += 1
+        if pending.grant_repeats > self.MAX_GRANT_REPEATS:
+            # Abandon the join attempt; free the slot.
+            self._table.remove_device(pending.device_id)
+            del self._pending[pending.device_id]
+            raise AssociationError(
+                f"device {pending.device_id} never acknowledged its grant"
+            )
+        return AssociationResponse(
+            network_id=pending.device_id % 256,
+            cyclic_shift=pending.granted_shift // self._config.skip,
+        )
+
+    def handle_ack(self, device_id: int) -> int:
+        """Process the Association ACK; the device is now a member."""
+        pending = self._pending.get(device_id)
+        if pending is None or pending.phase != AssociationPhase.GRANTED:
+            raise AssociationError(
+                f"unexpected ACK from device {device_id}"
+            )
+        pending.phase = AssociationPhase.CONFIRMED
+        del self._pending[device_id]
+        return pending.granted_shift
+
+    def handle_reassociation(
+        self, device_id: int, new_snr_db: float
+    ) -> bool:
+        """A member re-initiates association after repeated power-control
+        failures; the AP updates its SNR and re-packs if the rank moved."""
+        return self._table.update_snr(device_id, new_snr_db)
+
+    def pending_grants(self) -> List[AssociationResponse]:
+        """Grants that still need repeating on upcoming queries."""
+        return [
+            AssociationResponse(
+                network_id=p.device_id % 256,
+                cyclic_shift=p.granted_shift // self._config.skip,
+            )
+            for p in self._pending.values()
+            if p.phase == AssociationPhase.GRANTED
+        ]
+
+    def assignments(self) -> Dict[int, int]:
+        """Confirmed + granted shift map (granted devices already hold
+        their slots so data devices cannot collide with them)."""
+        return self._table.assignments()
+
+    @property
+    def n_members(self) -> int:
+        return self._table.n_devices - len(self._pending)

@@ -1,0 +1,308 @@
+"""Network-level simulator: concurrent rounds over a deployment.
+
+Executes the paper's evaluation loop (Section 4.4): associate a
+deployment's devices, run query/response rounds with the fast PHY path
+(tones with per-packet jitter/CFO, AWGN), decode with the single-FFT
+receiver, and account air time — producing the network PHY rate,
+link-layer rate and latency series of Figs. 17-19.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.airtime import netscatter_round_airtime_s
+from repro.channel.awgn import awgn
+from repro.channel.deployment import Deployment
+from repro.constants import PAYLOAD_CRC_BITS, QUERY_BITS_CONFIG1
+from repro.core.allocation import power_aware_allocation
+from repro.core.config import NetScatterConfig
+from repro.core.dcss import compose_round_matrix
+from repro.core.receiver import NetScatterReceiver
+from repro.errors import ConfigurationError
+from repro.hardware.mcu import McuTimingModel
+from repro.hardware.oscillator import tag_oscillator
+from repro.phy.packet import PacketStructure
+from repro.utils.rng import RngLike, child_rng, make_rng
+
+
+@dataclass
+class RoundResult:
+    """Outcome of one concurrent round."""
+
+    n_devices: int
+    airtime: object
+    sent_bits: Dict[int, List[int]] = field(default_factory=dict)
+    received_bits: Dict[int, List[int]] = field(default_factory=dict)
+    detected: Dict[int, bool] = field(default_factory=dict)
+
+    @property
+    def total_bits_sent(self) -> int:
+        return sum(len(b) for b in self.sent_bits.values())
+
+    @property
+    def total_bits_correct(self) -> int:
+        correct = 0
+        for device_id, sent in self.sent_bits.items():
+            got = self.received_bits.get(device_id, [])
+            correct += sum(
+                1 for s, g in zip(sent, got) if s == g
+            )
+        return correct
+
+    @property
+    def packets_delivered(self) -> int:
+        """Packets with every bit correct (CRC would pass)."""
+        delivered = 0
+        for device_id, sent in self.sent_bits.items():
+            got = self.received_bits.get(device_id, [])
+            if len(got) == len(sent) and all(
+                s == g for s, g in zip(sent, got)
+            ):
+                delivered += 1
+        return delivered
+
+    @property
+    def bit_error_rate(self) -> float:
+        total = self.total_bits_sent
+        if total == 0:
+            return 0.0
+        return 1.0 - self.total_bits_correct / total
+
+    @property
+    def delivery_ratio(self) -> float:
+        if self.n_devices == 0:
+            return 1.0
+        return self.packets_delivered / self.n_devices
+
+
+@dataclass
+class NetworkMetrics:
+    """Aggregated metrics over several rounds (one sweep point)."""
+
+    n_devices: int
+    phy_rate_bps: float
+    link_layer_rate_bps: float
+    latency_s: float
+    delivery_ratio: float
+    bit_error_rate: float
+
+
+class NetworkSimulator:
+    """Round-based NetScatter network simulation over a deployment."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        config: Optional[NetScatterConfig] = None,
+        payload_bits: int = PAYLOAD_CRC_BITS,
+        query_bits: int = QUERY_BITS_CONFIG1,
+        reference_snr_scale_db: float = 0.0,
+        power_control: bool = True,
+        rng: RngLike = None,
+    ) -> None:
+        if config is None:
+            # The deployment experiments run all 256 devices concurrently;
+            # association shifts are not reserved during the data phase.
+            config = NetScatterConfig(n_association_shifts=0)
+        if deployment.n_devices > config.max_devices:
+            raise ConfigurationError(
+                f"deployment has {deployment.n_devices} devices; "
+                f"config supports {config.max_devices}"
+            )
+        self._deployment = deployment
+        self._config = config
+        self._params = config.chirp_params
+        self._payload_bits = int(payload_bits)
+        self._query_bits = int(query_bits)
+        self._scale_db = float(reference_snr_scale_db)
+        self._power_control = bool(power_control)
+        self._rng = make_rng(rng)
+        self._structure = PacketStructure(payload_bits=self._payload_bits)
+
+        # Per-device impairment models (fixed per device, drawn per packet).
+        self._timing = McuTimingModel()
+        self._oscillators = []
+        for index, _ in enumerate(deployment.devices):
+            osc = tag_oscillator()
+            osc.calibrate(child_rng(self._rng, index))
+            self._oscillators.append(osc)
+
+        snrs = [d.uplink_snr_db + self._scale_db for d in deployment.devices]
+        self._base_snrs = snrs
+        self._gains_db = self._initial_power_gains(snrs)
+        self._assignments = power_aware_allocation(
+            [s + g for s, g in zip(snrs, self._gains_db)], config
+        )
+        self._receiver = NetScatterReceiver(config, self._assignments)
+
+    @property
+    def config(self) -> NetScatterConfig:
+        return self._config
+
+    @property
+    def assignments(self) -> Dict[int, int]:
+        return dict(self._assignments)
+
+    def effective_snrs_db(self) -> List[float]:
+        """Per-device SNR after the power-control gain."""
+        return [s + g for s, g in zip(self._base_snrs, self._gains_db)]
+
+    def _initial_power_gains(self, snrs: Sequence[float]) -> List[float]:
+        """Coarse power pre-conditioning at association.
+
+        Strong devices back off toward the population so the network fits
+        the tolerable dynamic range: each device picks the discrete gain
+        (0 / -4 / -10 dB) that brings it closest to the weakest device
+        plus the practical 35 dB window.
+        """
+        from repro.constants import (
+            DYNAMIC_RANGE_PRACTICE_DB,
+            POWER_GAIN_LEVELS_DB,
+        )
+
+        if not self._power_control:
+            return [0.0] * len(snrs)
+        floor = min(snrs)
+        ceiling = floor + DYNAMIC_RANGE_PRACTICE_DB
+        gains = []
+        for snr in snrs:
+            best_gain = 0.0
+            for gain in POWER_GAIN_LEVELS_DB:
+                if snr + gain <= ceiling:
+                    best_gain = gain
+                    break
+            gains.append(best_gain)
+        return gains
+
+    # ------------------------------------------------------------------ #
+    # round execution
+    # ------------------------------------------------------------------ #
+
+    def run_round(self, fading: bool = False) -> RoundResult:
+        """One full concurrent round: compose, add noise, decode, account.
+
+        SNR convention: the weakest *effective* device defines the noise
+        level (its amplitude is the reference at its SNR); every other
+        device's amplitude follows from its SNR relative to that.
+        """
+        effective = self.effective_snrs_db()
+        if fading:
+            effective = [
+                e + dev.step_channel(0.06, self._rng) - dev.uplink_snr_db
+                for e, dev in zip(effective, self._deployment.devices)
+            ]
+        # Reference device: the weakest. Its amplitude is 1.0 and the
+        # channel noise realises its SNR; others scale up from there.
+        floor_snr = min(effective)
+        rel_gains_db = np.asarray(effective) - floor_snr
+
+        n_devices = self._deployment.n_devices
+        params = self._params
+        delays = np.array(
+            [
+                self._timing.sample_latency_s(self._rng)
+                for _ in range(n_devices)
+            ]
+        )
+        # The receiver synchronises to the concurrent preamble, which
+        # locks onto the population's common-mode delay; only per-device
+        # deviations from it survive as residual bin offsets.
+        delays = delays - delays.mean()
+        cfos = np.array(
+            [osc.offset_hz(self._rng) for osc in self._oscillators]
+        )
+        effective_bins = (
+            np.array(
+                [self._assignments[i] for i in range(n_devices)],
+                dtype=float,
+            )
+            - delays * params.bandwidth_hz
+            + cfos * params.n_samples / params.bandwidth_hz
+        )
+        amplitudes = 10.0 ** (rel_gains_db / 20.0)
+        phases = self._rng.uniform(0.0, 2.0 * np.pi, size=n_devices)
+
+        n_preamble = self._structure.n_preamble_upchirps
+        bit_matrix = np.ones(
+            (n_preamble + self._payload_bits, n_devices)
+        )
+        payload_bits = self._rng.integers(
+            0, 2, size=(self._payload_bits, n_devices)
+        )
+        bit_matrix[n_preamble:] = payload_bits
+
+        symbols = compose_round_matrix(
+            params, effective_bins, amplitudes, phases, bit_matrix
+        )
+        noisy = awgn(symbols, floor_snr, self._rng)
+        decode = self._receiver.decode_round_matrix(
+            noisy, n_preamble_upchirps=n_preamble
+        )
+
+        airtime = netscatter_round_airtime_s(
+            self._config, self._query_bits, self._structure
+        )
+        result = RoundResult(n_devices=n_devices, airtime=airtime)
+        for index, device in enumerate(self._deployment.devices):
+            result.sent_bits[device.device_id] = payload_bits[
+                :, index
+            ].tolist()
+            dec = decode.devices[index]
+            result.detected[device.device_id] = dec.detected
+            result.received_bits[device.device_id] = list(dec.bits)
+        return result
+
+    def run_rounds(self, n_rounds: int, fading: bool = False) -> NetworkMetrics:
+        """Run several rounds and aggregate into the Fig. 17-19 metrics."""
+        if n_rounds < 1:
+            raise ConfigurationError("need at least one round")
+        total_correct = 0
+        total_sent = 0
+        delivered = 0
+        airtime = None
+        for _ in range(n_rounds):
+            result = self.run_round(fading=fading)
+            total_correct += result.total_bits_correct
+            total_sent += result.total_bits_sent
+            delivered += result.packets_delivered
+            airtime = result.airtime
+        n = self._deployment.n_devices
+        delivery = delivered / (n * n_rounds)
+        ber = 1.0 - total_correct / total_sent if total_sent else 0.0
+        goodput_bits_per_round = (total_correct / n_rounds)
+        phy_rate = goodput_bits_per_round / airtime.payload_s
+        link_rate = goodput_bits_per_round / airtime.total_s
+        return NetworkMetrics(
+            n_devices=n,
+            phy_rate_bps=phy_rate,
+            link_layer_rate_bps=link_rate,
+            latency_s=airtime.total_s,
+            delivery_ratio=delivery,
+            bit_error_rate=ber,
+        )
+
+
+def sweep_device_counts(
+    deployment: Deployment,
+    device_counts: Sequence[int],
+    config: Optional[NetScatterConfig] = None,
+    n_rounds: int = 3,
+    query_bits: int = QUERY_BITS_CONFIG1,
+    rng: RngLike = None,
+) -> List[NetworkMetrics]:
+    """Fig. 17-19 sweep: metrics at each device count."""
+    generator = make_rng(rng)
+    metrics = []
+    for count in device_counts:
+        sim = NetworkSimulator(
+            deployment.subset(count),
+            config=config,
+            query_bits=query_bits,
+            rng=child_rng(generator, count),
+        )
+        metrics.append(sim.run_rounds(n_rounds))
+    return metrics

@@ -1,0 +1,122 @@
+"""Group scheduling of concurrent rounds (Section 3.3.3).
+
+A network can hold more devices than one concurrent round supports. The
+AP assigns devices to groups — by similar signal strength, which also
+bounds each group's dynamic range — and schedules groups round-robin,
+honouring each device's duty cycle learned at association.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.power_control import snr_groups
+from repro.errors import ProtocolError
+
+
+@dataclass
+class ScheduledDevice:
+    """Scheduler-side view of one device."""
+
+    device_id: int
+    snr_db: float
+    duty_cycle_rounds: int = 1
+    rounds_since_tx: int = 0
+
+    def due(self) -> bool:
+        """Whether the device's duty cycle makes it due this round."""
+        return self.rounds_since_tx + 1 >= self.duty_cycle_rounds
+
+
+class GroupScheduler:
+    """Round-robin scheduler over SNR-grouped devices."""
+
+    def __init__(
+        self,
+        max_group_size: int,
+        group_span_db: float = 35.0,
+    ) -> None:
+        if max_group_size < 1:
+            raise ProtocolError("max_group_size must be >= 1")
+        self._max_group_size = int(max_group_size)
+        self._group_span_db = float(group_span_db)
+        self._devices: Dict[int, ScheduledDevice] = {}
+        self._groups: List[List[int]] = []
+        self._next_group = 0
+
+    @property
+    def n_groups(self) -> int:
+        return len(self._groups)
+
+    @property
+    def groups(self) -> List[List[int]]:
+        return [list(g) for g in self._groups]
+
+    def add_device(
+        self, device_id: int, snr_db: float, duty_cycle_rounds: int = 1
+    ) -> None:
+        if device_id in self._devices:
+            raise ProtocolError(f"device {device_id} already scheduled")
+        if duty_cycle_rounds < 1:
+            raise ProtocolError("duty cycle must be >= 1 round")
+        self._devices[device_id] = ScheduledDevice(
+            device_id=device_id,
+            snr_db=float(snr_db),
+            duty_cycle_rounds=int(duty_cycle_rounds),
+        )
+        self._rebuild_groups()
+
+    def remove_device(self, device_id: int) -> None:
+        if device_id not in self._devices:
+            raise ProtocolError(f"device {device_id} is not scheduled")
+        del self._devices[device_id]
+        self._rebuild_groups()
+
+    def _rebuild_groups(self) -> None:
+        """Group by SNR span, then split oversized groups."""
+        if not self._devices:
+            self._groups = []
+            return
+        ids = list(self._devices)
+        snrs = [self._devices[d].snr_db for d in ids]
+        raw_groups = snr_groups(snrs, self._group_span_db)
+        groups: List[List[int]] = []
+        for group in raw_groups:
+            members = [ids[i] for i in group]
+            for start in range(0, len(members), self._max_group_size):
+                groups.append(members[start : start + self._max_group_size])
+        self._groups = groups
+        self._next_group %= max(1, len(self._groups))
+
+    def next_round(self) -> List[int]:
+        """Devices transmitting in the next concurrent round.
+
+        Picks the next group round-robin and filters by duty cycle;
+        devices not due simply skip the round (their shifts stay idle —
+        OOK '0's all round, which the receiver handles naturally).
+        """
+        if not self._groups:
+            return []
+        group = self._groups[self._next_group]
+        self._next_group = (self._next_group + 1) % len(self._groups)
+        transmitting: List[int] = []
+        for device_id in group:
+            device = self._devices[device_id]
+            if device.due():
+                transmitting.append(device_id)
+                device.rounds_since_tx = 0
+            else:
+                device.rounds_since_tx += 1
+        # Devices outside the scheduled group also age their duty cycle.
+        for device_id, device in self._devices.items():
+            if device_id not in group:
+                device.rounds_since_tx += 1
+        return transmitting
+
+    def group_of(self, device_id: int) -> int:
+        """Group index of a device (the query's group ID)."""
+        for index, group in enumerate(self._groups):
+            if device_id in group:
+                return index
+        raise ProtocolError(f"device {device_id} is not scheduled")

@@ -1,0 +1,122 @@
+"""Bit-level helpers: packing, CRC checksums and pseudo-random payloads.
+
+The NetScatter link layer carries a 40-bit payload + CRC field. We provide
+CRC-8 (ATM HEC polynomial) and CRC-16 (CCITT) implementations so packets can
+carry a real checksum, plus packing helpers used by the protocol messages.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+CRC8_POLY = 0x07
+CRC16_CCITT_POLY = 0x1021
+
+
+def int_to_bits(value: int, width: int) -> List[int]:
+    """Big-endian bit list of ``value`` over exactly ``width`` bits.
+
+    >>> int_to_bits(5, 4)
+    [0, 1, 0, 1]
+    """
+    if width < 0:
+        raise ProtocolError("width must be non-negative")
+    if value < 0:
+        raise ProtocolError("value must be non-negative")
+    if value >= (1 << width):
+        raise ProtocolError(f"value {value} does not fit in {width} bits")
+    return [(value >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Inverse of :func:`int_to_bits`.
+
+    >>> bits_to_int([0, 1, 0, 1])
+    5
+    """
+    result = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ProtocolError(f"bit values must be 0 or 1, got {bit!r}")
+        result = (result << 1) | bit
+    return result
+
+
+def bytes_to_bits(data: bytes) -> List[int]:
+    """Expand bytes into a big-endian bit list."""
+    bits: List[int] = []
+    for byte in data:
+        bits.extend(int_to_bits(byte, 8))
+    return bits
+
+
+def bits_to_bytes(bits: Sequence[int]) -> bytes:
+    """Pack a bit list (length multiple of 8) back into bytes."""
+    if len(bits) % 8 != 0:
+        raise ProtocolError("bit length must be a multiple of 8")
+    out = bytearray()
+    for i in range(0, len(bits), 8):
+        out.append(bits_to_int(bits[i : i + 8]))
+    return bytes(out)
+
+
+def crc8(bits: Sequence[int], poly: int = CRC8_POLY, init: int = 0x00) -> int:
+    """CRC-8 over a bit sequence (MSB-first), returning the 8-bit remainder."""
+    crc = init
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ProtocolError(f"bit values must be 0 or 1, got {bit!r}")
+        crc ^= bit << 7
+        crc <<= 1
+        if crc & 0x100:
+            crc ^= (poly << 1) | 0x100  # keep the implicit x^8 term aligned
+        crc &= 0xFF
+    return crc
+
+
+def crc16_ccitt(bits: Sequence[int], init: int = 0xFFFF) -> int:
+    """CRC-16/CCITT-FALSE over a bit sequence (MSB-first)."""
+    crc = init
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ProtocolError(f"bit values must be 0 or 1, got {bit!r}")
+        top = (crc >> 15) & 1
+        crc = (crc << 1) & 0xFFFF
+        if top ^ bit:
+            crc ^= CRC16_CCITT_POLY
+    return crc
+
+
+def append_crc8(bits: Sequence[int]) -> List[int]:
+    """Return ``bits`` with the CRC-8 remainder appended (8 extra bits)."""
+    payload = list(bits)
+    return payload + int_to_bits(crc8(payload), 8)
+
+
+def check_crc8(bits: Sequence[int]) -> bool:
+    """Validate a bit sequence produced by :func:`append_crc8`."""
+    if len(bits) < 8:
+        return False
+    payload, tail = list(bits[:-8]), list(bits[-8:])
+    return crc8(payload) == bits_to_int(tail)
+
+
+def random_bits(n_bits: int, rng: np.random.Generator) -> List[int]:
+    """Uniform random bit payload of length ``n_bits``."""
+    if n_bits < 0:
+        raise ProtocolError("n_bits must be non-negative")
+    return rng.integers(0, 2, size=n_bits).tolist()
+
+
+def hamming_distance(a: Iterable[int], b: Iterable[int]) -> int:
+    """Number of positions at which two equal-length bit sequences differ."""
+    a_list, b_list = list(a), list(b)
+    if len(a_list) != len(b_list):
+        raise ProtocolError(
+            f"length mismatch: {len(a_list)} vs {len(b_list)} bits"
+        )
+    return int(sum(1 for x, y in zip(a_list, b_list) if x != y))

@@ -1,0 +1,51 @@
+"""Seeded random-generator plumbing.
+
+Every stochastic component in the library accepts either a
+``numpy.random.Generator`` or a plain integer seed. Centralising the
+coercion here keeps experiments reproducible: the benchmark harness passes
+integer seeds, and each module derives independent child streams where it
+needs them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: RngLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    ``None`` yields a fresh OS-entropy generator; an existing generator is
+    passed through untouched so callers can share one stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def child_rng(rng: np.random.Generator, index: int) -> np.random.Generator:
+    """Derive an independent child stream from ``rng``.
+
+    Used when a simulation fans out over many devices: each device gets its
+    own deterministic stream so adding a device does not perturb the noise
+    seen by the others.
+    """
+    seed = int(rng.integers(0, 2**63 - 1)) ^ (index * 0x9E3779B97F4A7C15 & (2**63 - 1))
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RngLike, count: int) -> list:
+    """Create ``count`` independent generators from one seed."""
+    base = make_rng(seed)
+    return [child_rng(base, i) for i in range(count)]
+
+
+def optional_seed(seed: RngLike) -> Optional[int]:
+    """Extract a reportable integer seed, or ``None`` for entropy seeding."""
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    return None

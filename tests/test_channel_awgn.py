@@ -1,0 +1,112 @@
+"""Unit tests for repro.channel.awgn — noise and SNR accounting."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import (
+    awgn,
+    combined_snr_db,
+    noise_power_dbm,
+    processing_gain_db,
+    rssi_from_snr_dbm,
+    sensitivity_dbm,
+    snr_after_despreading_db,
+    snr_from_rssi_db,
+)
+from repro.errors import LinkBudgetError
+
+
+class TestAwgn:
+    def test_realised_snr(self, rng):
+        signal = np.ones(200000, dtype=complex)
+        noisy = awgn(signal, 10.0, rng)
+        noise = noisy - signal
+        measured = 10 * np.log10(1.0 / np.mean(np.abs(noise) ** 2))
+        assert measured == pytest.approx(10.0, abs=0.1)
+
+    def test_noise_level_independent_of_signal_content(self, rng):
+        """OOK '0' symbols are silent but the channel noise must not
+        change: the reference is signal_power, not measured power."""
+        silent = np.zeros(100000, dtype=complex)
+        noisy = awgn(silent, 0.0, rng, signal_power=1.0)
+        assert np.mean(np.abs(noisy) ** 2) == pytest.approx(1.0, rel=0.05)
+
+    def test_complex_noise_is_circular(self, rng):
+        noisy = awgn(np.zeros(100000, dtype=complex), 0.0, rng)
+        real_var = np.var(noisy.real)
+        imag_var = np.var(noisy.imag)
+        assert real_var == pytest.approx(imag_var, rel=0.05)
+
+    def test_invalid_signal_power(self, rng):
+        with pytest.raises(LinkBudgetError):
+            awgn(np.ones(4, dtype=complex), 0.0, rng, signal_power=0.0)
+
+    def test_preserves_shape(self, rng):
+        signal = np.ones((3, 16), dtype=complex)
+        assert awgn(signal, 0.0, rng).shape == (3, 16)
+
+
+class TestNoisePower:
+    def test_500khz_floor(self):
+        # -174 + 10log10(500e3) + 6 = -111 dBm.
+        assert noise_power_dbm(500e3) == pytest.approx(-111.0, abs=0.1)
+
+    def test_narrower_band_is_quieter(self):
+        assert noise_power_dbm(125e3) < noise_power_dbm(500e3)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(LinkBudgetError):
+            noise_power_dbm(0.0)
+
+
+class TestProcessingGain:
+    def test_sf9_gain(self):
+        assert processing_gain_db(9) == pytest.approx(27.09, abs=0.01)
+
+    def test_despreading_addition(self):
+        assert snr_after_despreading_db(-20.0, 9) == pytest.approx(
+            7.09, abs=0.01
+        )
+
+    def test_invalid_sf(self):
+        with pytest.raises(LinkBudgetError):
+            processing_gain_db(0)
+
+
+class TestSensitivity:
+    def test_paper_value_sf9(self):
+        """Table 1: (500 kHz, SF 9) sensitivity ~ -123 dBm."""
+        assert sensitivity_dbm(500e3, 9) == pytest.approx(-123.0, abs=2.0)
+
+    def test_higher_sf_more_sensitive(self):
+        assert sensitivity_dbm(500e3, 10) < sensitivity_dbm(500e3, 9)
+
+    def test_narrower_band_more_sensitive(self):
+        assert sensitivity_dbm(125e3, 9) < sensitivity_dbm(500e3, 9)
+
+
+class TestRssiSnr:
+    def test_roundtrip(self):
+        snr = snr_from_rssi_db(-100.0, 500e3)
+        assert rssi_from_snr_dbm(snr, 500e3) == pytest.approx(-100.0)
+
+    def test_sensitivity_level_snr(self):
+        # A signal at -111 dBm over 500 kHz sits exactly at 0 dB SNR.
+        assert snr_from_rssi_db(-111.0, 500e3) == pytest.approx(0.0, abs=0.1)
+
+
+class TestCombinedSnr:
+    def test_n_equal_devices_add_linearly(self):
+        """Section 3.1: N below-noise devices deposit N times the power."""
+        combined = combined_snr_db([-20.0] * 10)
+        assert combined == pytest.approx(-10.0, abs=0.01)
+
+    def test_single_device_identity(self):
+        assert combined_snr_db([-7.0]) == pytest.approx(-7.0)
+
+    def test_strongest_dominates(self):
+        assert combined_snr_db([0.0, -30.0]) == pytest.approx(0.0, abs=0.01)
+
+    def test_empty_rejected(self):
+        with pytest.raises(LinkBudgetError):
+            combined_snr_db([])

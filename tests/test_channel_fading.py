@@ -1,0 +1,92 @@
+"""Unit tests for repro.channel.fading — the AR(1) SNR track."""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import FadingProcess, snr_variance_samples
+from repro.errors import ReproError
+
+
+class TestFadingProcess:
+    def test_initial_state_is_mean(self):
+        process = FadingProcess(mean_snr_db=7.0)
+        assert process.current_snr_db == pytest.approx(7.0)
+
+    def test_reset_draws_from_stationary(self, rng):
+        process = FadingProcess(mean_snr_db=0.0, std_db=2.0)
+        draws = []
+        for _ in range(500):
+            process.reset(rng)
+            draws.append(process.current_snr_db)
+        assert np.std(draws) == pytest.approx(2.0, rel=0.15)
+
+    def test_stationary_variance_preserved(self, rng):
+        process = FadingProcess(mean_snr_db=0.0, std_db=1.5)
+        process.reset(rng)
+        track = process.track(600.0, 1.0, rng)
+        assert np.std(track) == pytest.approx(1.5, rel=0.25)
+
+    def test_variance_independent_of_step_size(self, rng):
+        """The AR(1) update must keep the stationary variance whether
+        stepped finely or coarsely."""
+        fine = FadingProcess(mean_snr_db=0.0, std_db=1.5)
+        coarse = FadingProcess(mean_snr_db=0.0, std_db=1.5)
+        fine.reset(rng)
+        coarse.reset(rng)
+        fine_track = fine.track(400.0, 0.5, rng)
+        coarse_track = coarse.track(400.0, 4.0, rng)
+        assert np.std(fine_track) == pytest.approx(
+            np.std(coarse_track), rel=0.35
+        )
+
+    def test_temporal_correlation(self, rng):
+        """Adjacent samples within the coherence time must correlate —
+        the property reciprocity-based power control relies on."""
+        process = FadingProcess(
+            mean_snr_db=0.0, std_db=1.5, coherence_time_s=5.0
+        )
+        process.reset(rng)
+        track = process.track(2000.0, 0.5, rng)
+        adjacent = np.corrcoef(track[:-1], track[1:])[0, 1]
+        assert adjacent > 0.8
+
+    def test_zero_std_is_constant(self, rng):
+        process = FadingProcess(mean_snr_db=3.0, std_db=0.0)
+        track = process.track(10.0, 1.0, rng)
+        assert np.all(track == 3.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ReproError):
+            FadingProcess(mean_snr_db=0.0, std_db=-1.0)
+        with pytest.raises(ReproError):
+            FadingProcess(mean_snr_db=0.0, coherence_time_s=0.0)
+
+    def test_negative_step_rejected(self, rng):
+        process = FadingProcess(mean_snr_db=0.0)
+        with pytest.raises(ReproError):
+            process.step(-1.0, rng)
+
+    def test_track_too_short_rejected(self, rng):
+        process = FadingProcess(mean_snr_db=0.0)
+        with pytest.raises(ReproError):
+            process.track(0.1, 1.0, rng)
+
+
+class TestVarianceSamples:
+    def test_fig9_envelope(self, rng):
+        """Fig. 9: deviations essentially bounded by +/-5 dB."""
+        process = FadingProcess(mean_snr_db=0.0, std_db=1.5)
+        process.reset(rng)
+        deviations = snr_variance_samples(process, 1800.0, 1.0, 300.0, rng)
+        assert np.mean(np.abs(deviations) <= 5.0) > 0.99
+
+    def test_zero_mean_per_window(self, rng):
+        process = FadingProcess(mean_snr_db=10.0, std_db=1.0)
+        process.reset(rng)
+        deviations = snr_variance_samples(process, 600.0, 1.0, 600.0, rng)
+        assert np.mean(deviations) == pytest.approx(0.0, abs=1e-9)
+
+    def test_window_longer_than_track_rejected(self, rng):
+        process = FadingProcess(mean_snr_db=0.0)
+        with pytest.raises(ReproError):
+            snr_variance_samples(process, 10.0, 1.0, 100.0, rng)

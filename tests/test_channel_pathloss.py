@@ -1,0 +1,89 @@
+"""Unit tests for repro.channel.pathloss."""
+
+import pytest
+
+from repro.channel.pathloss import (
+    free_space_path_loss_db,
+    indoor_path_loss_db,
+    round_trip_backscatter_loss_db,
+    round_trip_time_s,
+    time_of_flight_s,
+)
+from repro.errors import LinkBudgetError
+
+
+class TestFreeSpace:
+    def test_known_value(self):
+        # FSPL at 1 m, 900 MHz is ~31.5 dB.
+        assert free_space_path_loss_db(1.0, 900e6) == pytest.approx(
+            31.5, abs=0.2
+        )
+
+    def test_inverse_square(self):
+        near = free_space_path_loss_db(10.0, 900e6)
+        far = free_space_path_loss_db(20.0, 900e6)
+        assert far - near == pytest.approx(6.02, abs=0.01)
+
+    def test_frequency_scaling(self):
+        low = free_space_path_loss_db(10.0, 900e6)
+        high = free_space_path_loss_db(10.0, 1800e6)
+        assert high - low == pytest.approx(6.02, abs=0.01)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(LinkBudgetError):
+            free_space_path_loss_db(0.0, 900e6)
+        with pytest.raises(LinkBudgetError):
+            free_space_path_loss_db(1.0, 0.0)
+
+
+class TestIndoor:
+    def test_reduces_to_reference_at_1m(self):
+        assert indoor_path_loss_db(1.0, 900e6) == pytest.approx(
+            free_space_path_loss_db(1.0, 900e6)
+        )
+
+    def test_exponent_rolloff(self):
+        near = indoor_path_loss_db(10.0, 900e6, exponent=3.0)
+        far = indoor_path_loss_db(100.0, 900e6, exponent=3.0)
+        assert far - near == pytest.approx(30.0, abs=0.01)
+
+    def test_walls_add_loss(self):
+        clear = indoor_path_loss_db(10.0, 900e6, n_walls=0)
+        walled = indoor_path_loss_db(10.0, 900e6, n_walls=3, wall_loss_db=5.0)
+        assert walled - clear == pytest.approx(15.0)
+
+    def test_below_reference_clamps_to_reference(self):
+        assert indoor_path_loss_db(0.5, 900e6) == pytest.approx(
+            free_space_path_loss_db(1.0, 900e6)
+        )
+
+    def test_invalid_walls(self):
+        with pytest.raises(LinkBudgetError):
+            indoor_path_loss_db(10.0, 900e6, n_walls=-1)
+
+
+class TestRoundTrip:
+    def test_doubles_one_way(self):
+        one_way = indoor_path_loss_db(10.0, 900e6)
+        round_trip = round_trip_backscatter_loss_db(
+            10.0, 900e6, backscatter_insertion_loss_db=6.0
+        )
+        assert round_trip == pytest.approx(2 * one_way + 6.0)
+
+    def test_insertion_loss_parameter(self):
+        a = round_trip_backscatter_loss_db(5.0, 900e6, backscatter_insertion_loss_db=0.0)
+        b = round_trip_backscatter_loss_db(5.0, 900e6, backscatter_insertion_loss_db=10.0)
+        assert b - a == pytest.approx(10.0)
+
+
+class TestTimeOfFlight:
+    def test_paper_example(self):
+        # Section 3.2.1: 100 m -> round trip 666 ns.
+        assert round_trip_time_s(100.0) == pytest.approx(666e-9, rel=0.01)
+
+    def test_one_way(self):
+        assert time_of_flight_s(300.0) == pytest.approx(1e-6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(LinkBudgetError):
+            time_of_flight_s(-1.0)

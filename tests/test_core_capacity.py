@@ -1,0 +1,83 @@
+"""Unit tests for the multi-user capacity analysis (Section 3.1)."""
+
+import pytest
+
+from repro.core.capacity import (
+    approximation_error,
+    below_noise_approximation_bps,
+    capacity_scaling_series,
+    multiuser_capacity_bps,
+    netscatter_utilisation,
+)
+from repro.errors import LinkBudgetError
+
+
+class TestExactCapacity:
+    def test_zero_devices_zero_capacity(self):
+        assert multiuser_capacity_bps(500e3, -20.0, 0) == 0.0
+
+    def test_monotone_in_devices(self):
+        values = [
+            multiuser_capacity_bps(500e3, -20.0, n) for n in (1, 10, 100)
+        ]
+        assert values[0] < values[1] < values[2]
+
+    def test_known_value(self):
+        # N*snr = 1 -> BW * log2(2) = BW.
+        assert multiuser_capacity_bps(500e3, -20.0, 100) == pytest.approx(
+            500e3
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(LinkBudgetError):
+            multiuser_capacity_bps(0.0, -20.0, 1)
+        with pytest.raises(LinkBudgetError):
+            multiuser_capacity_bps(500e3, -20.0, -1)
+
+
+class TestLinearApproximation:
+    def test_linear_in_n(self):
+        one = below_noise_approximation_bps(500e3, -20.0, 1)
+        ten = below_noise_approximation_bps(500e3, -20.0, 10)
+        assert ten == pytest.approx(10 * one)
+
+    def test_accurate_below_noise(self):
+        """The paper's claim: below the noise floor capacity scales
+        linearly. At N*snr = 0.01 the linearisation is within 1%."""
+        assert approximation_error(-30.0, 10) < 0.01
+
+    def test_degrades_above_noise(self):
+        assert approximation_error(0.0, 100) > 0.5
+
+    def test_zero_devices_zero_error(self):
+        assert approximation_error(-20.0, 0) == 0.0
+
+
+class TestSeries:
+    def test_row_structure(self):
+        rows = capacity_scaling_series(500e3, -25.0, [1, 2, 4])
+        assert len(rows) == 3
+        assert rows[0]["n_devices"] == 1.0
+        assert rows[2]["capacity_bps"] > rows[0]["capacity_bps"]
+
+    def test_approx_tracks_exact_at_low_snr(self):
+        rows = capacity_scaling_series(500e3, -40.0, [1, 64, 256])
+        for row in rows:
+            assert row["linear_approx_bps"] == pytest.approx(
+                row["capacity_bps"], rel=0.02
+            )
+
+
+class TestUtilisation:
+    def test_full_band(self):
+        assert netscatter_utilisation(500e3, 500e3) == pytest.approx(1.0)
+
+    def test_deployment_skip2_half(self):
+        """SKIP = 2 halves the 500 kbps ceiling to ~250 kbps."""
+        assert netscatter_utilisation(250e3, 500e3) == pytest.approx(0.5)
+
+    def test_invalid(self):
+        with pytest.raises(LinkBudgetError):
+            netscatter_utilisation(1.0, 0.0)
+        with pytest.raises(LinkBudgetError):
+            netscatter_utilisation(-1.0, 500e3)

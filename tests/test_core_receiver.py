@@ -1,0 +1,173 @@
+"""Unit tests for the NetScatter single-FFT concurrent receiver."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import awgn
+from repro.core.config import NetScatterConfig
+from repro.core.dcss import (
+    DeviceTransmission,
+    compose_frame,
+    compose_preamble_and_payload_symbols,
+    compose_round_matrix,
+)
+from repro.core.receiver import NetScatterReceiver
+from repro.errors import DecodingError
+
+
+def _decode_fast(config, assignments, txs, rng, snr_db=None):
+    symbols = compose_preamble_and_payload_symbols(
+        config.chirp_params, txs, rng=rng
+    )
+    if snr_db is not None:
+        symbols = [awgn(s, snr_db, rng) for s in symbols]
+    receiver = NetScatterReceiver(config, assignments)
+    return receiver.decode_fast_symbols(symbols)
+
+
+class TestConstruction:
+    def test_duplicate_shifts_rejected(self, config):
+        with pytest.raises(DecodingError):
+            NetScatterReceiver(config, {0: 10, 1: 10})
+
+    def test_out_of_range_shift_rejected(self, config):
+        with pytest.raises(DecodingError):
+            NetScatterReceiver(config, {0: 512})
+
+    def test_empty_assignments_rejected(self, config):
+        with pytest.raises(DecodingError):
+            NetScatterReceiver(config, {})
+
+    def test_assignments_copied(self, config):
+        assignments = {0: 10}
+        receiver = NetScatterReceiver(config, assignments)
+        assignments[0] = 20
+        assert receiver.assignments == {0: 10}
+
+
+class TestConcurrentDecode:
+    def test_two_devices_noiseless(self, config, rng):
+        txs = [
+            DeviceTransmission(shift=10, bits=[1, 0, 1, 1]),
+            DeviceTransmission(shift=200, bits=[0, 1, 1, 0]),
+        ]
+        decode = _decode_fast(config, {0: 10, 1: 200}, txs, rng)
+        assert decode.detected_ids() == [0, 1]
+        assert decode.bits_of(0) == [1, 0, 1, 1]
+        assert decode.bits_of(1) == [0, 1, 1, 0]
+
+    def test_sixteen_devices_below_noise(self, config, rng):
+        """16 concurrent devices at -10 dB each must all decode — the
+        distributed-coding headline behaviour."""
+        shifts = list(range(0, 512, 32))
+        txs = [
+            DeviceTransmission(shift=s, bits=[1, 0, 1, 0, 1])
+            for s in shifts
+        ]
+        assignments = {i: s for i, s in enumerate(shifts)}
+        decode = _decode_fast(config, assignments, txs, rng, snr_db=-10.0)
+        assert decode.detected_ids() == list(range(16))
+        for i in range(16):
+            assert decode.bits_of(i) == [1, 0, 1, 0, 1]
+
+    def test_silent_device_not_detected(self, config, rng):
+        txs = [DeviceTransmission(shift=10, bits=[1, 1, 1])]
+        decode = _decode_fast(
+            config, {0: 10, 1: 300}, txs, rng, snr_db=0.0
+        )
+        assert decode.devices[1].detected is False
+        assert decode.bits_of(1) == []
+
+    def test_residual_offset_tolerated(self, config, rng):
+        """A device late by half the SKIP guard still decodes."""
+        txs = [
+            DeviceTransmission(
+                shift=100, bits=[1, 0, 1], delay_s=0.9e-6  # 0.45 bins
+            )
+        ]
+        decode = _decode_fast(config, {0: 100}, txs, rng, snr_db=0.0)
+        assert decode.bits_of(0) == [1, 0, 1]
+
+    def test_all_zero_payload(self, config, rng):
+        """An all-zeros payload after a detected preamble must decode as
+        zeros, not as noise-driven ones."""
+        txs = [DeviceTransmission(shift=40, bits=[0, 0, 0, 0])]
+        decode = _decode_fast(config, {0: 40}, txs, rng, snr_db=0.0)
+        assert decode.devices[0].detected
+        assert decode.bits_of(0) == [0, 0, 0, 0]
+
+    def test_bits_of_unknown_device(self, config, rng):
+        txs = [DeviceTransmission(shift=10, bits=[1])]
+        decode = _decode_fast(config, {0: 10}, txs, rng)
+        with pytest.raises(DecodingError):
+            decode.bits_of(99)
+
+
+class TestRoundMatrixDecode:
+    def test_matches_per_symbol_decode(self, config, rng):
+        """The vectorised path must agree with the reference decoder."""
+        shifts = {0: 20, 1: 260}
+        bins = np.array([20.2, 260.1])
+        amps = np.array([1.0, 1.0])
+        phases = np.array([0.5, 2.0])
+        bits = np.array([[1, 0], [0, 1], [1, 1], [0, 0]])
+        bit_matrix = np.vstack([np.ones((6, 2)), bits])
+        symbols = compose_round_matrix(
+            config.chirp_params, bins, amps, phases, bit_matrix
+        )
+        noisy = awgn(symbols, 5.0, rng)
+        receiver = NetScatterReceiver(config, shifts)
+        fast = receiver.decode_round_matrix(noisy)
+        slow = receiver.decode_fast_symbols(list(noisy))
+        for device_id in shifts:
+            assert fast.devices[device_id].detected == slow.devices[
+                device_id
+            ].detected
+            assert fast.bits_of(device_id) == slow.bits_of(device_id)
+        assert fast.bits_of(0) == bits[:, 0].tolist()
+        assert fast.bits_of(1) == bits[:, 1].tolist()
+
+    def test_shape_validation(self, config):
+        receiver = NetScatterReceiver(config, {0: 10})
+        with pytest.raises(DecodingError):
+            receiver.decode_round_matrix(np.ones((4, 100), dtype=complex))
+
+    def test_preamble_length_validation(self, config):
+        receiver = NetScatterReceiver(config, {0: 10})
+        with pytest.raises(DecodingError):
+            receiver.decode_round_matrix(
+                np.ones((3, 512), dtype=complex), n_preamble_upchirps=6
+            )
+
+
+class TestStreamDecode:
+    def test_synchronized_stream_decode(self, small_config, rng):
+        """Full waveform path: silence + concurrent frame, receiver must
+        find the start and decode everyone."""
+        params = small_config.chirp_params
+        txs = [
+            DeviceTransmission(shift=4, bits=[1, 0, 1, 1]),
+            DeviceTransmission(shift=32, bits=[0, 1, 0, 1]),
+        ]
+        stream = compose_frame(
+            params,
+            txs,
+            leading_silence_samples=150,
+            trailing_silence_samples=60,
+            rng=rng,
+        )
+        stream = awgn(stream, 10.0, rng)
+        receiver = NetScatterReceiver(small_config, {0: 4, 1: 32})
+        decode = receiver.decode_frame(stream, n_payload_bits=4)
+        assert abs(decode.start_sample - 150) <= 1
+        assert decode.bits_of(0) == [1, 0, 1, 1]
+        assert decode.bits_of(1) == [0, 1, 0, 1]
+
+    def test_short_stream_rejected(self, small_config):
+        receiver = NetScatterReceiver(small_config, {0: 4})
+        with pytest.raises(DecodingError):
+            receiver.decode_frame(
+                np.zeros(100, dtype=complex),
+                n_payload_bits=4,
+                synchronize=False,
+            )

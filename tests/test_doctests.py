@@ -1,0 +1,22 @@
+"""Run the library's docstring examples as tests."""
+
+import doctest
+
+import pytest
+
+import repro.utils.bits
+import repro.utils.conversions
+
+MODULES_WITH_DOCTESTS = [
+    repro.utils.conversions,
+    repro.utils.bits,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module, optionflags=doctest.ELLIPSIS)
+    assert result.attempted > 0, f"{module.__name__} has no doctests"
+    assert result.failed == 0

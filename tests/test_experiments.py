@@ -1,0 +1,150 @@
+"""Smoke tests: every experiment driver runs at reduced scale and its
+shape checks hold. Full-scale runs back EXPERIMENTS.md and the benches."""
+
+import pytest
+
+from repro.channel.deployment import paper_deployment
+from repro.experiments import (
+    fig04_choir_cdf,
+    fig07_power_gain,
+    fig08_sidelobes,
+    fig09_snr_variance,
+    fig12_nearfar_ber,
+    fig14_offsets,
+    fig15_doppler_dr,
+    fig16_spectrogram,
+    fig17_phy_rate,
+    fig18_linklayer,
+    fig19_latency,
+    sec22_analytics,
+    table1_configs,
+)
+from repro.experiments.common import ExperimentResult, geometric_sweep
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return paper_deployment(rng=11)
+
+
+class TestCommon:
+    def test_report_renders(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="demo",
+            rows=[{"a": 1.0}],
+            columns=["a"],
+        )
+        result.check("always", True)
+        text = result.report()
+        assert "PASS" in text and "demo" in text
+
+    def test_empty_rows_rejected(self):
+        result = ExperimentResult(experiment_id="x", title="demo")
+        with pytest.raises(Exception):
+            result.report()
+
+    def test_column_extraction(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="demo",
+            rows=[{"a": 1.0}, {"a": 2.0}],
+            columns=["a"],
+        )
+        assert result.column("a") == [1.0, 2.0]
+
+    def test_geometric_sweep(self):
+        assert geometric_sweep(1, 16) == [1, 2, 4, 8, 16]
+        assert geometric_sweep(1, 10)[-1] == 10
+
+
+class TestAnalyticExperiments:
+    def test_fig04(self):
+        result = fig04_choir_cdf.run(n_devices=12, n_packets=20, rng=1)
+        assert result.all_checks_pass(), result.report()
+
+    def test_table1(self):
+        result = table1_configs.run()
+        assert result.all_checks_pass(), result.report()
+
+    def test_fig07(self):
+        result = fig07_power_gain.run(n_points=21)
+        assert result.all_checks_pass(), result.report()
+
+    def test_fig08(self):
+        result = fig08_sidelobes.run()
+        assert result.all_checks_pass(), result.report()
+
+    def test_fig09(self):
+        result = fig09_snr_variance.run(duration_s=600.0, rng=2)
+        assert result.all_checks_pass(), result.report()
+
+    def test_fig14a(self):
+        result = fig14_offsets.run_frequency_offsets(
+            n_devices=24, n_packets=15, rng=3
+        )
+        assert result.all_checks_pass(), result.report()
+
+    def test_fig14b(self):
+        result = fig14_offsets.run_residual_bins(
+            n_devices=12, n_packets=40, rng=4
+        )
+        assert result.all_checks_pass(), result.report()
+
+    def test_fig15a(self):
+        result = fig15_doppler_dr.run_doppler(n_samples=400, rng=5)
+        assert result.all_checks_pass(), result.report()
+
+    def test_fig16(self):
+        result = fig16_spectrogram.run(n_symbols=8, rng=6)
+        assert result.all_checks_pass(), result.report()
+
+    def test_sec22(self):
+        result = sec22_analytics.run(n_trials=4000, rng=7)
+        assert result.all_checks_pass(), result.report()
+
+
+class TestSimulationExperiments:
+    def test_fig12_reduced(self):
+        result = fig12_nearfar_ber.run(
+            snrs_db=(-16, -10),
+            power_deltas_db=(None, 35.0, 45.0),
+            n_symbols=1500,
+            rng=8,
+        )
+        assert result.all_checks_pass(), result.report()
+
+    def test_fig15b_reduced(self):
+        result = fig15_doppler_dr.run_dynamic_range(
+            separations_bins=(2, 64, 256),
+            deltas_db=(0, 5, 15, 30, 35),
+            n_symbols=300,
+            rng=9,
+        )
+        assert result.all_checks_pass(), result.report()
+
+    def test_fig17_reduced(self, deployment):
+        result = fig17_phy_rate.run(
+            deployment=deployment,
+            device_counts=(1, 64, 256),
+            n_rounds=1,
+            rng=10,
+        )
+        assert result.all_checks_pass(), result.report()
+
+    def test_fig18_reduced(self, deployment):
+        result = fig18_linklayer.run(
+            deployment=deployment,
+            device_counts=(1, 256),
+            n_rounds=1,
+            rng=11,
+        )
+        assert result.all_checks_pass(), result.report()
+
+    def test_fig19(self, deployment):
+        result = fig19_latency.run(
+            deployment=deployment,
+            device_counts=(1, 64, 256),
+            rng=12,
+        )
+        assert result.all_checks_pass(), result.report()

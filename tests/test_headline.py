@@ -1,0 +1,43 @@
+"""The abstract's headline claims, asserted end-to-end."""
+
+import pytest
+
+from repro.analysis.headline import (
+    PAPER_ABSTRACT_CLAIMS,
+    abstract_claims_hold,
+    headline_summary,
+)
+from repro.channel.deployment import paper_deployment
+
+
+@pytest.fixture(scope="module")
+def summary():
+    deployment = paper_deployment(rng=77)
+    return headline_summary(deployment, n_rounds=2, rng=78)
+
+
+class TestAbstractClaims:
+    def test_windows_within_2x_of_paper(self, summary):
+        assert abstract_claims_hold(summary, slack=2.0), summary
+
+    def test_gain_window_ordering(self, summary):
+        assert (
+            summary["link_layer_gain_low"]
+            < summary["link_layer_gain_high"]
+        )
+        assert (
+            summary["latency_reduction_low"]
+            < summary["latency_reduction_high"]
+        )
+
+    def test_orders_of_magnitude_concurrency(self, summary):
+        """The abstract's '1-2 orders of magnitude higher transmission
+        concurrency': 256 concurrent devices vs the 1-2 of prior
+        backscatter systems and the 5-10 of Choir/FlipTracer."""
+        assert summary["n_devices"] / 10 >= 25  # vs Choir's ~10
+        assert summary["n_devices"] / 2 >= 100  # vs prior backscatter
+
+    def test_high_end_near_67x(self, summary):
+        assert summary["latency_reduction_high"] == pytest.approx(
+            PAPER_ABSTRACT_CLAIMS["latency_reduction_high"], rel=0.25
+        )

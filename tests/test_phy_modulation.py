@@ -1,0 +1,71 @@
+"""Unit tests for repro.phy.modulation — classic LoRa-style CSS."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import awgn
+from repro.errors import ConfigurationError, DecodingError
+from repro.phy.modulation import CssDemodulator, CssModulator
+from repro.utils.bits import random_bits
+
+
+class TestModulator:
+    def test_symbol_length(self, params):
+        mod = CssModulator(params)
+        assert mod.modulate_symbol(17).size == params.n_samples
+
+    def test_value_out_of_range(self, params):
+        mod = CssModulator(params)
+        with pytest.raises(ConfigurationError):
+            mod.modulate_symbol(params.n_shifts)
+        with pytest.raises(ConfigurationError):
+            mod.modulate_symbol(-1)
+
+    def test_bits_length_validation(self, params):
+        mod = CssModulator(params)
+        with pytest.raises(ConfigurationError):
+            mod.modulate_bits([1, 0, 1])  # not a multiple of SF=9
+
+    def test_empty_bits(self, params):
+        mod = CssModulator(params)
+        assert mod.modulate_bits([]).size == 0
+
+    def test_frame_length(self, params):
+        mod = CssModulator(params)
+        bits = [0] * (9 * 4)
+        assert mod.modulate_bits(bits).size == 4 * params.n_samples
+
+
+class TestRoundtrip:
+    def test_noiseless_roundtrip(self, params, rng):
+        mod = CssModulator(params)
+        demod = CssDemodulator(params)
+        bits = random_bits(9 * 8, rng)
+        assert demod.demodulate_bits(mod.modulate_bits(bits)) == bits
+
+    def test_noisy_roundtrip_below_noise(self, params, rng):
+        mod = CssModulator(params)
+        demod = CssDemodulator(params)
+        bits = random_bits(9 * 10, rng)
+        noisy = awgn(mod.modulate_bits(bits), -8.0, rng)
+        recovered = demod.demodulate_bits(noisy)
+        errors = sum(1 for a, b in zip(bits, recovered) if a != b)
+        assert errors == 0
+
+    def test_small_sf_roundtrip(self, small_params, rng):
+        mod = CssModulator(small_params)
+        demod = CssDemodulator(small_params)
+        bits = random_bits(6 * 5, rng)
+        assert demod.demodulate_bits(mod.modulate_bits(bits)) == bits
+
+    def test_demodulate_rejects_partial_frame(self, params):
+        demod = CssDemodulator(params)
+        with pytest.raises(DecodingError):
+            demod.demodulate_bits(np.ones(10, dtype=complex))
+
+    def test_all_symbol_values_roundtrip(self, small_params):
+        mod = CssModulator(small_params)
+        demod = CssDemodulator(small_params)
+        for value in range(small_params.n_shifts):
+            symbol = mod.modulate_symbol(value)
+            assert demod.demodulate_symbol(symbol) == value

@@ -1,0 +1,72 @@
+"""Unit tests for repro.phy.packet — the link-layer packet structure."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.phy.packet import BackscatterPacket, PacketStructure
+
+
+class TestPacketStructure:
+    def test_paper_defaults(self):
+        s = PacketStructure()
+        assert s.n_preamble_upchirps == 6
+        assert s.n_preamble_downchirps == 2
+        assert s.payload_bits == 40
+        assert s.n_symbols == 48
+
+    def test_airtime_at_deployment_config(self, params):
+        s = PacketStructure()
+        # 48 symbols * 1.024 ms = 49.152 ms of uplink airtime.
+        assert s.airtime_s(params) == pytest.approx(49.152e-3)
+
+    def test_preamble_vs_payload_split(self, params):
+        s = PacketStructure()
+        assert s.preamble_airtime_s(params) + s.payload_airtime_s(
+            params
+        ) == pytest.approx(s.airtime_s(params))
+
+    def test_invalid_counts(self):
+        with pytest.raises(ProtocolError):
+            PacketStructure(n_preamble_upchirps=0)
+        with pytest.raises(ProtocolError):
+            PacketStructure(n_preamble_downchirps=0)
+        with pytest.raises(ProtocolError):
+            PacketStructure(payload_bits=-1)
+
+    def test_one_payload_symbol_per_bit(self):
+        s = PacketStructure(payload_bits=17)
+        assert s.n_payload_symbols == 17
+
+
+class TestBackscatterPacket:
+    def test_frame_appends_crc(self):
+        packet = BackscatterPacket(device_id=3, data_bits=[1, 0, 1, 1])
+        assert len(packet.frame_bits) == 12
+        assert packet.n_frame_bits == 12
+
+    def test_crc_roundtrip(self):
+        packet = BackscatterPacket(device_id=1, data_bits=[0, 1] * 16)
+        frame = packet.frame_bits
+        assert BackscatterPacket.verify(frame)
+        assert BackscatterPacket.extract_data(frame) == packet.data_bits
+
+    def test_corruption_detected(self):
+        packet = BackscatterPacket(device_id=1, data_bits=[0, 1] * 16)
+        frame = packet.frame_bits
+        frame[0] ^= 1
+        assert not BackscatterPacket.verify(frame)
+        with pytest.raises(ProtocolError):
+            BackscatterPacket.extract_data(frame)
+
+    def test_deployment_sized_payload(self):
+        # 32 data bits + 8 CRC = the 40-bit payload+CRC of Figs. 18-19.
+        packet = BackscatterPacket(device_id=0, data_bits=[1] * 32)
+        assert packet.n_frame_bits == 40
+
+    def test_invalid_device_id(self):
+        with pytest.raises(ProtocolError):
+            BackscatterPacket(device_id=-1)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ProtocolError):
+            BackscatterPacket(device_id=0, data_bits=[2])

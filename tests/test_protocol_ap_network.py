@@ -1,0 +1,145 @@
+"""Unit tests for the access point and the network simulator."""
+
+import numpy as np
+import pytest
+
+from repro.channel.deployment import paper_deployment
+from repro.core.config import NetScatterConfig
+from repro.errors import ConfigurationError, ProtocolError
+from repro.protocol.ap import AccessPoint
+from repro.protocol.network import NetworkSimulator, sweep_device_counts
+
+
+class TestAccessPoint:
+    def test_association_assigns_shift(self, config):
+        ap = AccessPoint(config)
+        shift = ap.run_association(0, measured_snr_db=12.0)
+        assert shift % config.skip == 0
+        assert ap.n_members == 1
+
+    def test_queries_counted(self, config):
+        ap = AccessPoint(config)
+        ap.run_association(0, 12.0)
+        ap.build_query()
+        assert ap.stats.queries_sent >= 2
+        assert ap.stats.downlink_bits_sent > 0
+
+    def test_reassignment_piggybacked_once(self, config):
+        ap = AccessPoint(config)
+        ap.run_association(0, 10.0)
+        # A stronger newcomer displaces device 0 -> reassignment query.
+        ap.run_association(1, 30.0)
+        query = ap.build_query()
+        assert query.reassignment_order is not None
+        follow_up = ap.build_query()
+        assert follow_up.reassignment_order is None
+
+    def test_receiver_bound_to_assignments(self, config):
+        ap = AccessPoint(config)
+        ap.run_association(0, 12.0)
+        ap.run_association(1, 20.0)
+        receiver = ap.receiver()
+        assert set(receiver.assignments) == {0, 1}
+
+    def test_receiver_requires_members(self, config):
+        with pytest.raises(ProtocolError):
+            AccessPoint(config).receiver()
+
+    def test_round_scheduling(self, config):
+        ap = AccessPoint(config)
+        for device_id in range(5):
+            ap.run_association(device_id, 10.0 + device_id)
+        devices = ap.next_round_devices()
+        assert sorted(devices) == [0, 1, 2, 3, 4]
+
+    def test_member_snr_update(self, config):
+        ap = AccessPoint(config)
+        ap.run_association(0, 10.0)
+        ap.run_association(1, 20.0)
+        changed = ap.update_member_snr(0, 35.0)
+        assert changed
+        query = ap.build_query()
+        assert query.reassignment_order is not None
+
+    def test_unknown_member_update_rejected(self, config):
+        ap = AccessPoint(config)
+        with pytest.raises(Exception):
+            ap.update_member_snr(9, 10.0)
+
+
+class TestNetworkSimulator:
+    def test_small_network_perfect_delivery(self):
+        deployment = paper_deployment(n_devices=8, rng=3)
+        sim = NetworkSimulator(deployment, rng=4)
+        metrics = sim.run_rounds(3)
+        assert metrics.delivery_ratio == pytest.approx(1.0)
+        assert metrics.bit_error_rate == pytest.approx(0.0, abs=1e-3)
+
+    def test_phy_rate_tracks_device_count(self):
+        deployment = paper_deployment(n_devices=64, rng=3)
+        small = NetworkSimulator(deployment.subset(16), rng=4).run_rounds(2)
+        large = NetworkSimulator(deployment.subset(64), rng=4).run_rounds(2)
+        assert large.phy_rate_bps > 3.0 * small.phy_rate_bps
+
+    def test_power_control_limits_spread(self):
+        deployment = paper_deployment(n_devices=64, rng=3)
+        sim = NetworkSimulator(deployment, power_control=True, rng=4)
+        effective = sim.effective_snrs_db()
+        assert max(effective) - min(effective) <= 36.0
+
+    def test_no_power_control_wider_spread(self):
+        deployment = paper_deployment(n_devices=64, rng=3)
+        on = NetworkSimulator(deployment, power_control=True, rng=4)
+        off = NetworkSimulator(deployment, power_control=False, rng=4)
+        spread_on = max(on.effective_snrs_db()) - min(on.effective_snrs_db())
+        spread_off = max(off.effective_snrs_db()) - min(
+            off.effective_snrs_db()
+        )
+        assert spread_off > spread_on
+
+    def test_latency_matches_airtime_accounting(self):
+        deployment = paper_deployment(n_devices=4, rng=3)
+        sim = NetworkSimulator(deployment, query_bits=32, rng=4)
+        metrics = sim.run_rounds(1)
+        # 32/160k + 48 * 1.024 ms = 49.35 ms.
+        assert metrics.latency_s == pytest.approx(49.35e-3, abs=0.1e-3)
+
+    def test_round_result_bookkeeping(self):
+        deployment = paper_deployment(n_devices=4, rng=3)
+        sim = NetworkSimulator(deployment, rng=4)
+        result = sim.run_round()
+        assert result.total_bits_sent == 4 * 40
+        assert 0 <= result.packets_delivered <= 4
+        assert set(result.sent_bits) == set(result.received_bits)
+
+    def test_oversubscription_rejected(self):
+        deployment = paper_deployment(n_devices=64, rng=3)
+        config = NetScatterConfig(
+            bandwidth_hz=125e3, spreading_factor=6, skip=2,
+            n_association_shifts=0,
+        )
+        with pytest.raises(ConfigurationError):
+            NetworkSimulator(deployment, config=config)
+
+    def test_zero_rounds_rejected(self):
+        deployment = paper_deployment(n_devices=4, rng=3)
+        sim = NetworkSimulator(deployment, rng=4)
+        with pytest.raises(ConfigurationError):
+            sim.run_rounds(0)
+
+    def test_fading_round_runs(self):
+        deployment = paper_deployment(n_devices=8, rng=3)
+        sim = NetworkSimulator(deployment, rng=4)
+        result = sim.run_round(fading=True)
+        assert result.n_devices == 8
+
+
+class TestSweep:
+    def test_sweep_shapes(self):
+        deployment = paper_deployment(n_devices=32, rng=3)
+        metrics = sweep_device_counts(
+            deployment, (4, 16, 32), n_rounds=1, rng=5
+        )
+        assert [m.n_devices for m in metrics] == [4, 16, 32]
+        rates = [m.phy_rate_bps for m in metrics]
+        assert rates[0] < rates[1] < rates[2]

@@ -1,0 +1,97 @@
+"""Unit tests for the AP-side association state machine."""
+
+import pytest
+
+from repro.core.config import NetScatterConfig
+from repro.errors import AssociationError
+from repro.protocol.association import (
+    AssociationController,
+    AssociationPhase,
+)
+
+
+@pytest.fixture
+def controller():
+    return AssociationController(NetScatterConfig())
+
+
+class TestRequestShiftChoice:
+    def test_strong_downlink_high_region(self, controller):
+        shift = controller.request_shift_for_rssi(-30.0)
+        assert shift == controller.association_shifts[0]
+
+    def test_weak_downlink_low_region(self, controller):
+        shift = controller.request_shift_for_rssi(-45.0)
+        assert shift == controller.association_shifts[1]
+
+    def test_no_reserved_shifts_rejected(self):
+        config = NetScatterConfig(n_association_shifts=0)
+        controller = AssociationController(config)
+        with pytest.raises(AssociationError):
+            controller.request_shift_for_rssi(-30.0)
+
+
+class TestHandshake:
+    def test_request_grant_ack(self, controller):
+        grant, reassigned = controller.handle_request(5, measured_snr_db=12.0)
+        assert grant.network_id == 5
+        shift = controller.handle_ack(5)
+        assert shift == grant.cyclic_shift * controller.table.config.skip
+        assert controller.n_members == 1
+
+    def test_duplicate_request_repeats_grant(self, controller):
+        first, _ = controller.handle_request(5, 12.0)
+        second, reassigned = controller.handle_request(5, 12.0)
+        assert second.cyclic_shift == first.cyclic_shift
+        assert not reassigned
+
+    def test_unexpected_ack_rejected(self, controller):
+        with pytest.raises(AssociationError):
+            controller.handle_ack(99)
+
+    def test_grant_abandoned_after_repeats(self, controller):
+        controller.handle_request(5, 12.0)
+        with pytest.raises(AssociationError):
+            for _ in range(10):
+                controller.handle_request(5, 12.0)
+        # The slot must be freed for others.
+        assert controller.table.n_devices == 0
+
+    def test_pending_grants_listed(self, controller):
+        controller.handle_request(5, 12.0)
+        grants = controller.pending_grants()
+        assert len(grants) == 1
+        controller.handle_ack(5)
+        assert controller.pending_grants() == []
+
+    def test_many_devices_join(self, controller, rng):
+        for device_id in range(32):
+            controller.handle_request(device_id, float(rng.uniform(0, 35)))
+            controller.handle_ack(device_id)
+        assert controller.n_members == 32
+        controller.table.validate()
+
+    def test_assignments_unique(self, controller, rng):
+        for device_id in range(16):
+            controller.handle_request(device_id, float(rng.uniform(0, 35)))
+            controller.handle_ack(device_id)
+        shifts = list(controller.assignments().values())
+        assert len(set(shifts)) == 16
+
+
+class TestReassociation:
+    def test_snr_change_triggers_repack(self, controller):
+        controller.handle_request(0, 30.0)
+        controller.handle_ack(0)
+        controller.handle_request(1, 10.0)
+        controller.handle_ack(1)
+        changed = controller.handle_reassociation(1, 40.0)
+        assert changed
+        controller.table.validate()
+
+    def test_small_change_no_repack(self, controller):
+        controller.handle_request(0, 30.0)
+        controller.handle_ack(0)
+        controller.handle_request(1, 10.0)
+        controller.handle_ack(1)
+        assert not controller.handle_reassociation(1, 11.0)

@@ -1,0 +1,141 @@
+"""Unit tests for the AP query message and association frames."""
+
+import math
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocol.messages import (
+    AssociationRequest,
+    AssociationResponse,
+    QueryMessage,
+    bare_query_bits,
+    decode_permutation,
+    encode_permutation,
+    full_reassignment_query_bits,
+    parse_query_bits,
+    reassignment_payload_bits,
+)
+
+
+class TestQueryLengths:
+    def test_config1_is_32_bits(self):
+        """Fig. 18's config 1: a bare query of 32 bits."""
+        assert bare_query_bits() == 32
+
+    def test_config2_near_1760_bits(self):
+        """Fig. 18's config 2: full reassignment, ~1760 bits for 256
+        devices (log2(256!) <= 1700 plus framing, padded to bytes)."""
+        bits = full_reassignment_query_bits(256)
+        assert 1700 <= bits <= 1760
+
+    def test_reassignment_payload_entropy(self):
+        assert reassignment_payload_bits(256) == math.ceil(
+            math.log2(math.factorial(256))
+        )
+        assert reassignment_payload_bits(256) <= 1700
+
+    def test_airtime_at_160kbps(self):
+        """Config 2's ~11 ms downlink overhead (Section 3.3.3)."""
+        query = QueryMessage(reassignment_order=list(range(256)))
+        assert query.airtime_s == pytest.approx(11e-3, abs=1e-3)
+
+    def test_association_response_adds_16_bits(self):
+        bare = QueryMessage().n_bits
+        with_assoc = QueryMessage(
+            association=AssociationResponse(network_id=5, cyclic_shift=10)
+        ).n_bits
+        assert with_assoc == bare + 16
+
+
+class TestPermutationCoding:
+    def test_roundtrip_small(self):
+        order = [2, 0, 3, 1]
+        assert decode_permutation(encode_permutation(order), 4) == order
+
+    def test_roundtrip_identity(self):
+        order = list(range(10))
+        assert encode_permutation(order) == 0
+        assert decode_permutation(0, 10) == order
+
+    def test_roundtrip_reversed(self):
+        order = list(range(8))[::-1]
+        assert decode_permutation(encode_permutation(order), 8) == order
+
+    def test_roundtrip_random(self, rng):
+        for _ in range(20):
+            order = rng.permutation(12).tolist()
+            assert decode_permutation(
+                encode_permutation(order), 12
+            ) == order
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_permutation([0, 0, 1])
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ProtocolError):
+            decode_permutation(math.factorial(5), 5)
+
+
+class TestSerialisation:
+    def test_bare_query_roundtrip(self):
+        query = QueryMessage(group_id=7)
+        parsed = parse_query_bits(query.to_bits())
+        assert parsed.group_id == 7
+        assert parsed.association is None
+        assert parsed.reassignment_order is None
+
+    def test_association_roundtrip(self):
+        query = QueryMessage(
+            group_id=1,
+            association=AssociationResponse(network_id=42, cyclic_shift=99),
+        )
+        parsed = parse_query_bits(query.to_bits())
+        assert parsed.association.network_id == 42
+        assert parsed.association.cyclic_shift == 99
+
+    def test_reassignment_roundtrip(self):
+        order = [3, 1, 0, 2]
+        query = QueryMessage(reassignment_order=order)
+        parsed = parse_query_bits(
+            query.to_bits(), n_reassignment_devices=4
+        )
+        assert parsed.reassignment_order == order
+
+    def test_reassignment_needs_count(self):
+        query = QueryMessage(reassignment_order=[1, 0])
+        with pytest.raises(ProtocolError):
+            parse_query_bits(query.to_bits())
+
+    def test_short_query_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_query_bits([1, 0])
+
+    def test_invalid_group_id(self):
+        with pytest.raises(ProtocolError):
+            QueryMessage(group_id=256)
+
+
+class TestAssociationFrames:
+    def test_response_field_widths(self):
+        response = AssociationResponse(network_id=255, cyclic_shift=255)
+        assert len(response.to_bits()) == 16
+
+    def test_response_roundtrip(self):
+        response = AssociationResponse(network_id=13, cyclic_shift=77)
+        assert AssociationResponse.from_bits(response.to_bits()) == response
+
+    def test_response_validation(self):
+        with pytest.raises(ProtocolError):
+            AssociationResponse(network_id=256, cyclic_shift=0)
+        with pytest.raises(ProtocolError):
+            AssociationResponse(network_id=0, cyclic_shift=300)
+
+    def test_request_roundtrip(self):
+        request = AssociationRequest(temporary_id=1234, duty_cycle_code=9)
+        assert AssociationRequest.from_bits(request.to_bits()) == request
+
+    def test_request_length_validation(self):
+        with pytest.raises(ProtocolError):
+            AssociationRequest.from_bits([0] * 10)

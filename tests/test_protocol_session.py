@@ -1,0 +1,83 @@
+"""Tests for the long-running network session (protocol dynamics)."""
+
+import pytest
+
+from repro.channel.deployment import paper_deployment
+from repro.core.config import NetScatterConfig
+from repro.errors import ConfigurationError
+from repro.protocol.session import NetworkSession
+
+
+@pytest.fixture(scope="module")
+def quiet_session():
+    """A session over a calm channel (no fading to speak of)."""
+    deployment = paper_deployment(n_devices=32, rng=21)
+    session = NetworkSession(
+        deployment=deployment, fading_std_db=0.1, rng=22
+    )
+    session.run(20)
+    return session
+
+
+class TestQuietChannel:
+    def test_high_delivery(self, quiet_session):
+        assert quiet_session.stats.mean_delivery > 0.97
+
+    def test_full_participation(self, quiet_session):
+        assert quiet_session.stats.mean_participation > 0.99
+
+    def test_no_reassociation_needed(self, quiet_session):
+        assert quiet_session.stats.reassociations == 0
+
+    def test_round_count(self, quiet_session):
+        assert quiet_session.stats.rounds == 20
+
+
+class TestFadingChannel:
+    def test_dynamics_engage_under_fading(self):
+        deployment = paper_deployment(n_devices=32, rng=23)
+        session = NetworkSession(
+            deployment=deployment, fading_std_db=4.0, rng=24
+        )
+        stats = session.run(40)
+        # The control loop must actually act...
+        assert stats.power_steps > 0
+        # ...while keeping the network usable.
+        assert stats.mean_delivery > 0.7
+        assert stats.mean_participation > 0.6
+
+    def test_reassociation_restores_membership(self):
+        deployment = paper_deployment(n_devices=16, rng=25)
+        session = NetworkSession(
+            deployment=deployment, fading_std_db=6.0, rng=26
+        )
+        stats = session.run(50)
+        # Strong fading forces re-joins, and every device must still be
+        # a member afterwards (re-association is seamless).
+        assert stats.reassociations > 0
+        assert session.ap.n_members == 16
+
+    def test_reassignment_queries_follow_rank_changes(self):
+        deployment = paper_deployment(n_devices=16, rng=27)
+        session = NetworkSession(
+            deployment=deployment, fading_std_db=6.0, rng=28
+        )
+        stats = session.run(50)
+        assert stats.reassignment_queries <= stats.reassociations
+
+
+class TestValidation:
+    def test_oversubscription_rejected(self):
+        deployment = paper_deployment(n_devices=64, rng=29)
+        config = NetScatterConfig(
+            bandwidth_hz=125e3, spreading_factor=6, skip=2,
+            n_association_shifts=0,
+        )
+        with pytest.raises(ConfigurationError):
+            NetworkSession(deployment=deployment, config=config)
+
+    def test_zero_rounds_rejected(self):
+        deployment = paper_deployment(n_devices=4, rng=30)
+        session = NetworkSession(deployment=deployment, rng=31)
+        with pytest.raises(ConfigurationError):
+            session.run(0)

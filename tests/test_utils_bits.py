@@ -1,0 +1,123 @@
+"""Unit tests for repro.utils.bits."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.utils.bits import (
+    append_crc8,
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    check_crc8,
+    crc8,
+    crc16_ccitt,
+    hamming_distance,
+    int_to_bits,
+    random_bits,
+)
+
+
+class TestIntBits:
+    def test_basic(self):
+        assert int_to_bits(5, 4) == [0, 1, 0, 1]
+
+    def test_roundtrip(self):
+        for value in (0, 1, 127, 255, 511, 65535):
+            width = max(1, value.bit_length())
+            assert bits_to_int(int_to_bits(value, width)) == value
+
+    def test_zero_width(self):
+        assert int_to_bits(0, 0) == []
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ProtocolError):
+            int_to_bits(16, 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ProtocolError):
+            int_to_bits(-1, 4)
+
+    def test_bits_to_int_rejects_nonbinary(self):
+        with pytest.raises(ProtocolError):
+            bits_to_int([0, 2, 1])
+
+
+class TestByteBits:
+    def test_roundtrip(self):
+        data = bytes([0x00, 0xFF, 0xA5, 0x3C])
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_non_octet_length_rejected(self):
+        with pytest.raises(ProtocolError):
+            bits_to_bytes([1, 0, 1])
+
+
+class TestCrc8:
+    def test_deterministic(self):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        assert crc8(bits) == crc8(bits)
+
+    def test_detects_single_bit_flip(self):
+        bits = int_to_bits(0xDEAD, 16)
+        framed = append_crc8(bits)
+        for position in range(len(framed)):
+            corrupted = list(framed)
+            corrupted[position] ^= 1
+            assert not check_crc8(corrupted), f"flip at {position} missed"
+
+    def test_valid_frame_passes(self):
+        framed = append_crc8([1, 0, 1, 0, 1, 0])
+        assert check_crc8(framed)
+
+    def test_short_frame_fails(self):
+        assert not check_crc8([1, 0, 1])
+
+    def test_empty_payload(self):
+        framed = append_crc8([])
+        assert len(framed) == 8
+        assert check_crc8(framed)
+
+    def test_rejects_nonbinary(self):
+        with pytest.raises(ProtocolError):
+            crc8([0, 1, 3])
+
+
+class TestCrc16:
+    def test_known_value_deterministic(self):
+        bits = bytes_to_bits(b"123456789")
+        # CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+        assert crc16_ccitt(bits) == 0x29B1
+
+    def test_detects_flip(self):
+        bits = bytes_to_bits(b"hello")
+        reference = crc16_ccitt(bits)
+        bits[7] ^= 1
+        assert crc16_ccitt(bits) != reference
+
+
+class TestRandomBits:
+    def test_length(self, rng):
+        assert len(random_bits(100, rng)) == 100
+
+    def test_binary_values(self, rng):
+        assert set(random_bits(1000, rng)) <= {0, 1}
+
+    def test_roughly_balanced(self, rng):
+        bits = random_bits(10000, rng)
+        assert 0.45 < sum(bits) / len(bits) < 0.55
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ProtocolError):
+            random_bits(-1, rng)
+
+
+class TestHamming:
+    def test_identical(self):
+        assert hamming_distance([1, 0, 1], [1, 0, 1]) == 0
+
+    def test_all_different(self):
+        assert hamming_distance([1, 1, 1], [0, 0, 0]) == 3
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ProtocolError):
+            hamming_distance([1, 0], [1, 0, 1])
