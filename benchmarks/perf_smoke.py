@@ -1,0 +1,163 @@
+"""Perf smoke: time the bin-domain fast path, write BENCH_fastpath.json.
+
+Runs reduced Fig. 12 / Fig. 15b sweeps two ways and records wall-clock
+plus payload symbols decoded per second:
+
+* ``per_round_fft`` — the pre-engine shape of the hot loop: one round at
+  a time, full zero-padded FFT readout, time-domain AWGN per round (the
+  seed implementation's cost profile);
+* ``batched_sparse`` — the current production path: whole sweep point
+  batched, sparse readout, readout-domain noise.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py
+
+The JSON lands next to this file's repo root as ``BENCH_fastpath.json``
+so future PRs have a perf trajectory to compare against. Numbers are
+machine-dependent; the ratio is the signal.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.channel.awgn import awgn
+from repro.core.config import NetScatterConfig
+from repro.core.dcss import compose_round_matrix
+from repro.core.receiver import NetScatterReceiver
+from repro.experiments import fig12_nearfar_ber, fig15_doppler_dr
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_fastpath.json"
+
+FIG12_SNRS = (-20, -16, -12)
+FIG12_SYMBOLS = 2000
+FIG15_SEPARATIONS = (2, 16, 256)
+FIG15_SYMBOLS = 400
+FRAME_PAYLOAD = 40
+N_PREAMBLE = 6
+
+
+def _legacy_ber_point(config, snr_db, power_delta_db, n_symbols, rng):
+    """Seed-style Fig. 12 point: per-round loop, FFT readout, AWGN."""
+    params = config.chirp_params
+    assignments = {0: fig12_nearfar_ber.WEAK_SHIFT}
+    if power_delta_db is not None:
+        assignments[1] = fig12_nearfar_ber.STRONG_SHIFT
+    receiver = NetScatterReceiver(
+        config, assignments, detection_snr_db=-100.0, readout="fft"
+    )
+    n_devices = len(assignments)
+    cfo_to_bins = params.n_samples / params.bandwidth_hz
+    errors, total = 0, 0
+    while total < n_symbols:
+        bits = rng.integers(0, 2, size=(FRAME_PAYLOAD, n_devices))
+        bit_matrix = np.ones((N_PREAMBLE + FRAME_PAYLOAD, n_devices))
+        bit_matrix[N_PREAMBLE:] = bits
+        cfos_hz = rng.normal(scale=300.0, size=n_devices)
+        bins = (
+            np.array([2, 258][:n_devices], dtype=float)
+            + cfos_hz * cfo_to_bins
+        )
+        amplitudes = np.ones(n_devices)
+        if power_delta_db is not None:
+            amplitudes[1] = 10.0 ** (power_delta_db / 20.0)
+        phases = rng.uniform(0.0, 2.0 * np.pi, size=n_devices)
+        symbols = compose_round_matrix(
+            params, bins, amplitudes, phases, bit_matrix
+        )
+        decode = receiver.decode_round_matrix(
+            awgn(symbols, snr_db, rng), n_preamble_upchirps=N_PREAMBLE
+        )
+        got = decode.devices[0].bits
+        errors += sum(1 for s, g in zip(bits[:, 0].tolist(), got) if s != g)
+        total += FRAME_PAYLOAD
+    return errors / total
+
+
+def _time_fig12_legacy() -> dict:
+    config = NetScatterConfig()
+    rng = np.random.default_rng(12)
+    start = time.perf_counter()
+    for snr in FIG12_SNRS:
+        for delta in (None, 35.0, 45.0):
+            _legacy_ber_point(config, float(snr), delta, FIG12_SYMBOLS, rng)
+    elapsed = time.perf_counter() - start
+    n_symbols = len(FIG12_SNRS) * 3 * FIG12_SYMBOLS
+    return {
+        "wall_clock_s": round(elapsed, 3),
+        "symbols_decoded": n_symbols,
+        "symbols_per_s": round(n_symbols / elapsed, 1),
+    }
+
+
+def _time_fig12_batched() -> dict:
+    start = time.perf_counter()
+    fig12_nearfar_ber.run(
+        snrs_db=FIG12_SNRS,
+        power_deltas_db=(None, 35.0, 45.0),
+        n_symbols=FIG12_SYMBOLS,
+        rng=12,
+    )
+    elapsed = time.perf_counter() - start
+    n_symbols = len(FIG12_SNRS) * 3 * FIG12_SYMBOLS
+    return {
+        "wall_clock_s": round(elapsed, 3),
+        "symbols_decoded": n_symbols,
+        "symbols_per_s": round(n_symbols / elapsed, 1),
+    }
+
+
+def _time_fig15_batched() -> dict:
+    start = time.perf_counter()
+    result = fig15_doppler_dr.run_dynamic_range(
+        separations_bins=FIG15_SEPARATIONS,
+        n_symbols=FIG15_SYMBOLS,
+        rng=16,
+    )
+    elapsed = time.perf_counter() - start
+    # One baseline point plus however many deltas each separation needed.
+    n_points = 1 + sum(1 for _ in result.rows)
+    return {
+        "wall_clock_s": round(elapsed, 3),
+        "sweep_points_lower_bound": n_points,
+        "symbols_per_point": FIG15_SYMBOLS,
+    }
+
+
+def main() -> dict:
+    report = {
+        "schema": "bench-fastpath-v1",
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "fig12": {
+            "per_round_fft": _time_fig12_legacy(),
+            "batched_sparse": _time_fig12_batched(),
+        },
+        "fig15b": {
+            "batched_sparse": _time_fig15_batched(),
+        },
+    }
+    fig12 = report["fig12"]
+    fig12["speedup"] = round(
+        fig12["per_round_fft"]["wall_clock_s"]
+        / fig12["batched_sparse"]["wall_clock_s"],
+        2,
+    )
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {OUTPUT}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

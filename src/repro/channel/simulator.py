@@ -43,7 +43,7 @@ class WaveformScenario:
     """
 
     stream: np.ndarray
-    oversampled: np.ndarray = field(repr=False, default=None)
+    oversampled: Optional[np.ndarray] = field(repr=False, default=None)
     true_start: int = 0
     oversampling: int = 4
 

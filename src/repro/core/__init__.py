@@ -8,8 +8,19 @@ the capacity analysis.
 
 from repro.core.allocation import AllocationTable, power_aware_allocation
 from repro.core.config import NetScatterConfig, TABLE1_CONFIGS
-from repro.core.dcss import DeviceTransmission, compose_symbol, compose_frame
-from repro.core.receiver import NetScatterReceiver, FrameDecode, DeviceDecode
+from repro.core.dcss import (
+    DeviceTransmission,
+    compose_symbol,
+    compose_frame,
+    compose_round_matrix,
+    compose_rounds,
+)
+from repro.core.receiver import (
+    NetScatterReceiver,
+    FrameDecode,
+    DeviceDecode,
+    RoundsDecode,
+)
 
 __all__ = [
     "AllocationTable",
@@ -19,7 +30,10 @@ __all__ = [
     "DeviceTransmission",
     "compose_symbol",
     "compose_frame",
+    "compose_round_matrix",
+    "compose_rounds",
     "NetScatterReceiver",
     "FrameDecode",
     "DeviceDecode",
+    "RoundsDecode",
 ]

@@ -20,6 +20,7 @@ Both paths produce streams the same :class:`NetScatterReceiver` decodes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -111,7 +112,7 @@ def compose_symbol(
         )
     # Re-spread so the output is a standard pre-dechirp symbol: the
     # receiver will multiply by the downchirp and recover the tone sum.
-    return total_tone * np.conjugate(downchirp(params))
+    return total_tone * _respread_cached(params)
 
 
 def compose_preamble_and_payload_symbols(
@@ -209,6 +210,19 @@ def ideal_aggregate_power(actives: Sequence[DeviceTransmission]) -> float:
     )
 
 
+@lru_cache(maxsize=64)
+def _respread_cached(params: ChirpParams) -> np.ndarray:
+    """Conjugated baseline downchirp (the re-spreading carrier), cached.
+
+    ``downchirp`` itself is cached, but the conjugation used to be
+    re-materialised on every composed round; hoisting it keeps the
+    per-round cost of the fast path pure matmul.
+    """
+    carrier = np.conjugate(downchirp(params))
+    carrier.setflags(write=False)
+    return carrier
+
+
 def compose_round_matrix(
     params: ChirpParams,
     effective_bins: np.ndarray,
@@ -223,7 +237,8 @@ def compose_round_matrix(
     ``effective_bins[d]`` with constant amplitude and phase across the
     round. Returns the pre-dechirp symbol matrix (n_symbols, 2^SF) —
     equivalent to calling :func:`compose_symbol` per symbol, but fast
-    enough for 256-device round simulations.
+    enough for 256-device round simulations. One-round wrapper of
+    :func:`compose_rounds`.
     """
     effective_bins = np.asarray(effective_bins, dtype=float)
     amplitudes = np.asarray(amplitudes, dtype=float)
@@ -236,12 +251,70 @@ def compose_round_matrix(
         raise ConfigurationError(
             "bit_matrix must be (n_symbols, n_devices)"
         )
+    return compose_rounds(
+        params,
+        effective_bins[None, :],
+        amplitudes[None, :],
+        phases_rad[None, :],
+        bit_matrix[None, :, :],
+    )[0]
+
+
+def compose_rounds(
+    params: ChirpParams,
+    effective_bins: np.ndarray,
+    amplitudes: np.ndarray,
+    phases_rad: np.ndarray,
+    bit_tensor: np.ndarray,
+    respread: bool = True,
+) -> np.ndarray:
+    """Batched fast path: a whole Monte-Carlo sweep of rounds at once.
+
+    Per-round arrays are stacked on a leading round axis:
+    ``effective_bins`` / ``amplitudes`` / ``phases_rad`` are
+    ``(n_rounds, n_devices)`` and ``bit_tensor`` is
+    ``(n_rounds, n_symbols, n_devices)``. Device ``d`` of round ``r``
+    contributes the dechirped-domain tone at ``effective_bins[r, d]``
+    with amplitude and phase constant across that round. Returns the
+    pre-dechirp symbol tensor ``(n_rounds, n_symbols, 2^SF)`` — the
+    input of :meth:`repro.core.receiver.NetScatterReceiver.decode_rounds`
+    — as one batched matmul instead of a Python loop over rounds.
+
+    ``respread=False`` skips the final re-spreading carrier and returns
+    the tensor in the *dechirped* domain (pass ``dechirped=True`` to
+    ``decode_rounds``). The re-spread/de-spread pair is a unit-modulus
+    rotation that cancels through the receiver, so skipping it saves a
+    full pass over the tensor with identical decode decisions.
+    """
+    effective_bins = np.asarray(effective_bins, dtype=float)
+    amplitudes = np.asarray(amplitudes, dtype=float)
+    phases_rad = np.asarray(phases_rad, dtype=float)
+    bit_tensor = np.asarray(bit_tensor, dtype=float)
+    if effective_bins.ndim != 2:
+        raise ConfigurationError(
+            "effective_bins must be (n_rounds, n_devices)"
+        )
+    n_rounds, n_devices = effective_bins.shape
+    if amplitudes.shape != (n_rounds, n_devices):
+        raise ConfigurationError("per-device arrays must align")
+    if phases_rad.shape != (n_rounds, n_devices):
+        raise ConfigurationError("per-device arrays must align")
+    if bit_tensor.ndim != 3 or bit_tensor.shape[::2] != (
+        n_rounds,
+        n_devices,
+    ):
+        raise ConfigurationError(
+            "bit_tensor must be (n_rounds, n_symbols, n_devices)"
+        )
     n = params.n_samples
-    t = np.arange(n)
-    tone_matrix = np.exp(
-        2j * np.pi * np.outer(effective_bins, t) / n
-        + 1j * phases_rad[:, None]
+    t = np.arange(n, dtype=float)
+    # tones[r, d, :]: the device's dechirped-grid tone for that round.
+    tones = np.exp(
+        2j * np.pi * effective_bins[:, :, None] * t[None, None, :] / n
+        + 1j * phases_rad[:, :, None]
     )
-    weights = bit_matrix * amplitudes[None, :]
-    dechirped = weights.astype(complex) @ tone_matrix
-    return dechirped * np.conjugate(downchirp(params))[None, :]
+    weights = (bit_tensor * amplitudes[:, None, :]).astype(complex)
+    dechirped = weights @ tones
+    if not respread:
+        return dechirped
+    return dechirped * _respread_cached(params)[None, None, :]

@@ -24,7 +24,22 @@ import numpy as np
 from repro.core.config import NetScatterConfig
 from repro.errors import DecodingError
 from repro.phy.demodulation import DechirpResult, Demodulator
+from repro.phy.noise import estimate_noise_floor, exclusion_mask
+from repro.phy.sparse_readout import (
+    SparseReadout,
+    full_fft_values,
+    natural_probe_readout,
+)
 from repro.phy.sync import PreambleSynchronizer
+from repro.utils.rng import standard_complex_normal
+
+#: Elements per chunk of the batched power tensor: bounds peak memory of
+#: a decode_rounds call regardless of how many rounds are batched.
+_CHUNK_ELEMENT_BUDGET = 1 << 23
+
+#: Cap on the number of noise-probe bins carried by the readout plan
+#: (a strided subsample of the natural-bin grid at large SF).
+_MAX_NOISE_PROBES = 512
 
 
 @dataclass
@@ -76,6 +91,231 @@ class FrameDecode:
         return self.devices[device_id].bits
 
 
+@dataclass
+class RoundsDecode:
+    """Vectorised decode of a whole batch of concurrent rounds.
+
+    Arrays are indexed ``[round, symbol, device-column]`` with device
+    columns ordered as ``device_ids``. ``bits`` / ``bit_powers`` hold the
+    raw vectorised decisions for *every* device; consumers must gate on
+    ``detected`` (``frame`` does this, returning empty bit lists for
+    undetected devices, exactly like the per-round decoder).
+    """
+
+    device_ids: List[int]
+    shifts: np.ndarray
+    detected: np.ndarray
+    preamble_power: np.ndarray
+    noise_power: np.ndarray
+    bits: np.ndarray
+    bit_powers: np.ndarray
+
+    @property
+    def n_rounds(self) -> int:
+        return self.detected.shape[0]
+
+    def column_of(self, device_id: int) -> int:
+        """Column index of a device in the batched arrays."""
+        try:
+            return self.device_ids.index(device_id)
+        except ValueError:
+            raise DecodingError(
+                f"device {device_id} is not in this decode"
+            ) from None
+
+    def frame(self, round_index: int) -> FrameDecode:
+        """Materialise one round as a :class:`FrameDecode`."""
+        r = int(round_index)
+        if not 0 <= r < self.n_rounds:
+            raise DecodingError(f"round {round_index} out of range")
+        devices: Dict[int, DeviceDecode] = {}
+        for column, device_id in enumerate(self.device_ids):
+            detected = bool(self.detected[r, column])
+            decode = DeviceDecode(
+                device_id=device_id,
+                shift=int(self.shifts[column]),
+                detected=detected,
+                preamble_power=(
+                    float(self.preamble_power[r, column]) if detected else 0.0
+                ),
+                noise_power=float(self.noise_power[r]),
+            )
+            if detected:
+                decode.bits = self.bits[r, :, column].astype(int).tolist()
+                decode.bit_powers = self.bit_powers[r, :, column].tolist()
+            devices[device_id] = decode
+        return FrameDecode(devices=devices)
+
+    def frames(self) -> List[FrameDecode]:
+        """All rounds as per-round decodes."""
+        return [self.frame(r) for r in range(self.n_rounds)]
+
+
+class _ReadoutPlan:
+    """Cached bin layout + operators for the batched decode engine.
+
+    Built once per receiver (the layout depends only on the assignments,
+    the search width and the input domain) and reused by every round:
+
+    * an *extended* search window per device — the legal peak-search
+      window plus one interpolated guard bin on each side, so the
+      located-peak ``+/- 1`` guard read never leaves the window;
+    * a probe block on the (possibly strided) natural-bin grid for the
+      shared noise-floor estimator, with a mask of probes that sit clear
+      of every assignment;
+    * :class:`SparseReadout` operators evaluating exactly those bins —
+      split in two because the windows are read at symbol rate while the
+      probes are read once per round;
+    * the Cholesky factor of one window's AWGN covariance, for the
+      readout-domain noise fast path. Every device's window is the same
+      bin pattern translated along the grid, so a single ``(W, W)``
+      factor serves all devices.
+    """
+
+    def __init__(
+        self,
+        params,
+        zero_pad_factor: int,
+        shifts: np.ndarray,
+        search_width_bins: float,
+        fold_downchirp: bool = True,
+    ) -> None:
+        n = params.n_samples
+        zp = int(zero_pad_factor)
+        n_grid = n * zp
+        half = max(1, int(round(search_width_bins * zp)))
+        self.half = half
+        self.window_width = 2 * half + 3
+        ext_offsets = np.arange(-half - 1, half + 2)
+        centres = np.round(np.asarray(shifts, dtype=float) * zp).astype(int)
+        window_idx = (centres[:, None] + ext_offsets[None, :]) % n_grid
+
+        probe_stride = max(1, -(-n // _MAX_NOISE_PROBES))
+        probe_idx = np.arange(0, n, probe_stride) * zp
+        excluded = exclusion_mask(n_grid, zp, shifts)
+        self.free_probe_mask = ~excluded[probe_idx]
+
+        self.n_devices = window_idx.shape[0]
+        self.n_probes = probe_idx.size
+        self.n_samples = n
+        self.window_idx = window_idx
+        self.probe_idx = probe_idx
+        self.window_readout = SparseReadout(
+            params, zp, window_idx.ravel(), fold_downchirp=fold_downchirp
+        )
+        self.probe_readout = natural_probe_readout(
+            params, zp, probe_stride, fold_downchirp=fold_downchirp
+        )
+        self._fold = fold_downchirp
+        self._window_noise_factor: Optional[np.ndarray] = None
+
+    def window_values(self, symbols: np.ndarray, exact: bool) -> np.ndarray:
+        """Complex window spectra, ``(..., D, W)``, for a symbol batch."""
+        if exact:
+            flat = full_fft_values(
+                self.window_readout.params,
+                self.window_readout.zero_pad_factor,
+                symbols,
+                bin_indices=self.window_idx.ravel(),
+                fold_downchirp=self._fold,
+            )
+        else:
+            flat = self.window_readout.spectrum(symbols)
+        return flat.reshape(
+            flat.shape[:-1] + (self.n_devices, self.window_width)
+        )
+
+    def probe_values(self, symbols: np.ndarray, exact: bool) -> np.ndarray:
+        """Complex noise-probe spectra, ``(..., n_probes)``."""
+        if exact:
+            return full_fft_values(
+                self.probe_readout.params,
+                self.probe_readout.zero_pad_factor,
+                symbols,
+                bin_indices=self.probe_idx,
+                fold_downchirp=self._fold,
+            )
+        return self.probe_readout.spectrum(symbols)
+
+    def read(self, tensor: np.ndarray, exact: bool):
+        """Window + symbol-0 probe spectra of a ``(R, S, 2^SF)`` chunk.
+
+        The exact path computes one zero-padded FFT per symbol and
+        gathers both blocks from it (the probes come from the already
+        computed symbol-0 rows); the sparse path runs the two
+        operators, the probe one only over symbol 0.
+        """
+        if exact:
+            grid = full_fft_values(
+                self.window_readout.params,
+                self.window_readout.zero_pad_factor,
+                tensor,
+                fold_downchirp=self._fold,
+            )
+            flat = grid[..., self.window_idx.ravel()]
+            windows = flat.reshape(
+                flat.shape[:-1] + (self.n_devices, self.window_width)
+            )
+            probes = grid[:, 0, self.probe_idx]
+            return windows, probes
+        return (
+            self.window_values(tensor, False),
+            self.probe_values(tensor[:, 0, :], False),
+        )
+
+    @property
+    def window_noise_factor(self) -> np.ndarray:
+        """Factor ``L`` of one window's unit-AWGN covariance.
+
+        ``L @ zeta`` (``zeta`` iid CN(0,1)) has exactly the joint
+        distribution of unit-power time-domain AWGN seen through one
+        device's window readout. Identical for every device because the
+        windows are translations of the same interpolated-bin pattern
+        and the covariance depends only on bin *separations*. Factored
+        through the eigendecomposition: sub-bin-spaced readout bins are
+        almost perfectly correlated, so the covariance is numerically
+        rank-deficient and a plain Cholesky would fail on round-off.
+        """
+        if self._window_noise_factor is None:
+            device0 = self.window_readout._op[:, : self.window_width]
+            covariance = device0.T @ np.conjugate(device0)
+            eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+            self._window_noise_factor = eigenvectors * np.sqrt(
+                np.clip(eigenvalues, 0.0, None)
+            )
+        return self._window_noise_factor
+
+
+def _inject_readout_noise(
+    plan: _ReadoutPlan,
+    window_values: np.ndarray,
+    probe_values: np.ndarray,
+    noise_scale: np.ndarray,
+    rng,
+):
+    """Add channel AWGN directly at the readout bins.
+
+    White time-domain noise maps linearly onto the readout, so the noise
+    at the read bins is drawn with its exact per-block covariance instead
+    of being materialised over the whole ``(rounds, symbols, 2^SF)``
+    tensor: each device window gets correlated noise via the shared
+    Cholesky factor; the natural-grid probes are mutually orthogonal and
+    get iid noise of per-bin power ``2^SF * noise_power``.
+    """
+    r, s, d, w = window_values.shape
+    factor = plan.window_noise_factor
+    zeta = standard_complex_normal(rng, (r, s, d, w))
+    window_noise = zeta @ factor.T
+    window_values = window_values + (
+        noise_scale[:, None, None, None] * window_noise
+    )
+    probe_noise = standard_complex_normal(rng, probe_values.shape)
+    probe_values = probe_values + (
+        noise_scale[:, None] * np.sqrt(float(plan.n_samples))
+    ) * probe_noise
+    return window_values, probe_values
+
+
 class NetScatterReceiver:
     """Decodes concurrent distributed-CSS transmissions at the AP.
 
@@ -92,6 +332,13 @@ class NetScatterReceiver:
         to absorb the sub-bin residual offsets that survive preamble
         synchronisation, while keeping the window edge more than a full
         bin away from a SKIP-spaced neighbour's main lobe.
+    readout:
+        Spectral backend of the batched round decoder. ``"sparse"``
+        (default) evaluates only each device's window bins plus the noise
+        probes through a precomputed matmul; ``"fft"`` is the opt-in
+        exact path computing the full zero-padded FFT and gathering the
+        same bins. Both produce bit-identical decisions (the sparse
+        operator *is* the padded FFT restricted to the read columns).
     """
 
     def __init__(
@@ -100,6 +347,7 @@ class NetScatterReceiver:
         assignments: Dict[int, int],
         search_width_bins: Optional[float] = None,
         detection_snr_db: float = 3.0,
+        readout: str = "sparse",
     ) -> None:
         if not assignments:
             raise DecodingError("receiver needs at least one assignment")
@@ -117,8 +365,14 @@ class NetScatterReceiver:
         )
         if search_width_bins is None:
             search_width_bins = config.skip / 4.0
+        if readout not in ("sparse", "fft"):
+            raise DecodingError(
+                f"readout must be 'sparse' or 'fft', got {readout!r}"
+            )
         self._search_width = float(search_width_bins)
         self._detection_snr = float(detection_snr_db)
+        self._readout = readout
+        self._plans: Dict[bool, _ReadoutPlan] = {}
         self._sync = PreambleSynchronizer(self._params)
 
     @property
@@ -253,6 +507,27 @@ class NetScatterReceiver:
     # vectorised round decoding (used by the network simulator)
     # ------------------------------------------------------------------ #
 
+    @property
+    def readout_plan(self) -> _ReadoutPlan:
+        """The cached sparse-readout plan for pre-dechirp symbol input."""
+        return self._readout_plan(dechirped=False)
+
+    def _readout_plan(self, dechirped: bool) -> _ReadoutPlan:
+        """Plan for the requested input domain, built on first use."""
+        fold = not dechirped
+        if fold not in self._plans:
+            self._plans[fold] = _ReadoutPlan(
+                self._params,
+                self._config.zero_pad_factor,
+                np.array(
+                    [self._assignments[d] for d in self._assignments],
+                    dtype=float,
+                ),
+                self._search_width,
+                fold_downchirp=fold,
+            )
+        return self._plans[fold]
+
     def decode_round_matrix(
         self,
         symbol_matrix: np.ndarray,
@@ -261,8 +536,10 @@ class NetScatterReceiver:
         """Decode a whole round at once from a (n_symbols, 2^SF) matrix.
 
         Numerically identical to :meth:`decode_fast_symbols`, but the
-        dechirp, FFT and per-device window search run as batched numpy
-        operations — necessary for 256-device round simulations.
+        dechirp, spectral readout and per-device window search run as
+        batched numpy operations — necessary for 256-device round
+        simulations. One-round convenience wrapper of
+        :meth:`decode_rounds`.
         """
         symbol_matrix = np.asarray(symbol_matrix, dtype=complex)
         n = self._params.n_samples
@@ -270,60 +547,158 @@ class NetScatterReceiver:
             raise DecodingError(
                 f"symbol matrix must be (n_symbols, {n})"
             )
-        if symbol_matrix.shape[0] < n_preamble_upchirps:
+        return self.decode_rounds(
+            symbol_matrix[None, :, :], n_preamble_upchirps
+        ).frame(0)
+
+    def decode_rounds(
+        self,
+        symbol_tensor: np.ndarray,
+        n_preamble_upchirps: int = 6,
+        dechirped: bool = False,
+        noise_snr_db=None,
+        rng=None,
+        signal_power: float = 1.0,
+    ) -> RoundsDecode:
+        """Decode a whole Monte-Carlo batch of rounds in one pass.
+
+        ``symbol_tensor`` is ``(n_rounds, n_symbols, 2^SF)``: every round
+        of a sweep point composed up front (see
+        :func:`repro.core.dcss.compose_rounds`). The spectral readout is
+        one matmul over the flattened batch, the peak location / noise
+        floor / bit decisions are vectorised across rounds, and memory is
+        bounded by processing the batch in round chunks.
+
+        Parameters
+        ----------
+        dechirped:
+            When True the tensor is already in the dechirped domain
+            (``compose_rounds(..., respread=False)``); the readout then
+            skips the downchirp fold. The re-spread/de-spread pair is a
+            unit-modulus rotation, so both domains decode identically.
+        noise_snr_db:
+            When given (scalar, or one value per round), channel AWGN at
+            that SNR — same reference convention as
+            :func:`repro.channel.awgn.awgn` — is injected *at the
+            readout bins* using the exact covariance of white noise seen
+            through the readout (see
+            :meth:`repro.phy.sparse_readout.SparseReadout.noise_covariance`).
+            Each device's window block and each probe bin get exactly
+            their physical joint noise law; only the cross-correlation
+            between different devices' windows (and windows vs probes)
+            is dropped, which no per-device statistic observes. This
+            skips generating noise over the full time-domain tensor —
+            the dominant cost of large noisy sweeps. Requires ``rng``.
+        """
+        symbol_tensor = np.asarray(symbol_tensor, dtype=complex)
+        n = self._params.n_samples
+        if symbol_tensor.ndim != 3 or symbol_tensor.shape[2] != n:
+            raise DecodingError(
+                f"symbol tensor must be (n_rounds, n_symbols, {n})"
+            )
+        n_rounds, n_symbols, _ = symbol_tensor.shape
+        if n_symbols < n_preamble_upchirps:
             raise DecodingError("fewer symbols than preamble length")
-        zp = self._config.zero_pad_factor
-        from repro.phy.chirp import downchirp as _downchirp
 
-        despread = symbol_matrix * _downchirp(self._params)[None, :]
-        spectra = np.abs(np.fft.fft(despread, n=n * zp, axis=1)) ** 2
+        noise_scale = None
+        if noise_snr_db is not None:
+            if rng is None:
+                raise DecodingError("readout-domain noise needs an rng")
+            if signal_power <= 0:
+                raise DecodingError("signal_power must be positive")
+            snr = np.asarray(noise_snr_db, dtype=float)
+            if snr.ndim > 1 or (snr.ndim == 1 and snr.size != n_rounds):
+                raise DecodingError(
+                    "noise_snr_db must be scalar or one value per round"
+                )
+            noise_scale = np.broadcast_to(
+                np.sqrt(signal_power / 10.0 ** (snr / 10.0)), (n_rounds,)
+            )
 
+        plan = self._readout_plan(dechirped)
+        if self._readout == "fft":
+            # The exact path materialises the full zero-padded grid.
+            elements_per_round = (
+                n_symbols * n * self._config.zero_pad_factor
+            )
+        else:
+            elements_per_round = n_symbols * plan.window_readout.n_bins
+        chunk = max(1, _CHUNK_ELEMENT_BUDGET // max(1, elements_per_round))
+        pieces = [
+            self._decode_chunk(
+                symbol_tensor[start : start + chunk],
+                n_preamble_upchirps,
+                plan,
+                None if noise_scale is None else noise_scale[
+                    start : start + chunk
+                ],
+                rng,
+            )
+            for start in range(0, n_rounds, chunk)
+        ]
         device_ids = list(self._assignments)
         shifts = np.array(
-            [self._assignments[d] for d in device_ids], dtype=float
+            [self._assignments[d] for d in device_ids], dtype=int
         )
-        half = max(1, int(round(self._search_width * zp)))
-        offsets = np.arange(-half, half + 1)
-        centres = np.round(shifts * zp).astype(int)
-        index_matrix = (centres[:, None] + offsets[None, :]) % (n * zp)
+        return RoundsDecode(
+            device_ids=device_ids,
+            shifts=shifts,
+            detected=np.concatenate([p[0] for p in pieces], axis=0),
+            preamble_power=np.concatenate([p[1] for p in pieces], axis=0),
+            noise_power=np.concatenate([p[2] for p in pieces], axis=0),
+            bits=np.concatenate([p[3] for p in pieces], axis=0),
+            bit_powers=np.concatenate([p[4] for p in pieces], axis=0),
+        )
 
-        # Locate each device's sub-bin peak from the summed preamble
-        # spectra (per-packet offsets are constant over the packet), then
-        # read every symbol at that located bin (+/- one interpolated
-        # bin of guard).
-        preamble_sum = spectra[:n_preamble_upchirps, :][
-            :, index_matrix
-        ].sum(axis=0)
-        located = index_matrix[
-            np.arange(len(device_ids)), preamble_sum.argmax(axis=1)
-        ]
-        guard = np.arange(-1, 2)
-        read_matrix = (located[:, None] + guard[None, :]) % (n * zp)
-        # powers[s, d] = power at device d's located bin during symbol s
-        powers = spectra[:, read_matrix].max(axis=2)
+    def _decode_chunk(
+        self,
+        tensor: np.ndarray,
+        n_preamble: int,
+        plan: _ReadoutPlan,
+        noise_scale,
+        rng,
+    ):
+        """Vectorised decode of one round chunk -> per-round arrays."""
+        exact = self._readout == "fft"
+        window_values, probe_values = plan.read(tensor, exact)
+        if noise_scale is not None:
+            window_values, probe_values = _inject_readout_noise(
+                plan, window_values, probe_values, noise_scale, rng
+            )
+        windows = window_values.real**2 + window_values.imag**2
+        first_probes = probe_values.real**2 + probe_values.imag**2
+        # windows: (R, S, D, W) on the extended grid; interior positions
+        # [1, W-2] are the legal search window, the outermost bin on each
+        # side exists only so the +/- 1 guard read below stays inside.
+        preamble_sum = windows[:, :n_preamble].sum(axis=1)
+        located = preamble_sum[:, :, 1:-1].argmax(axis=2) + 1
 
-        preamble = powers[:n_preamble_upchirps]
-        payload = powers[n_preamble_upchirps:]
-        noise = float(np.quantile(spectra[0], 0.25))
+        def read_at(delta: int) -> np.ndarray:
+            idx = (located + delta)[:, None, :, None]
+            return np.take_along_axis(windows, idx, axis=3)[..., 0]
+
+        symbol_powers = np.maximum(
+            np.maximum(read_at(-1), read_at(0)), read_at(1)
+        )
+
+        # Shared noise rule: median of the signal-free probe bins of the
+        # first preamble symbol, falling back to a low quantile of the
+        # whole probe grid under full occupancy.
+        noise = np.atleast_1d(
+            estimate_noise_floor(
+                first_probes[:, plan.free_probe_mask],
+                fallback_powers=first_probes,
+            )
+        )
         threshold_scale = 10.0 ** (self._detection_snr / 10.0)
 
-        devices: Dict[int, DeviceDecode] = {}
-        detected_mask = preamble.min(axis=0) > noise * threshold_scale
-        preamble_means = preamble.mean(axis=0)
-        bits_matrix = payload > (0.5 * preamble_means)[None, :]
-        for column, device_id in enumerate(device_ids):
-            detected = bool(detected_mask[column])
-            decode = DeviceDecode(
-                device_id=device_id,
-                shift=int(shifts[column]),
-                detected=detected,
-                preamble_power=(
-                    float(preamble_means[column]) if detected else 0.0
-                ),
-                noise_power=noise,
-            )
-            if detected:
-                decode.bits = bits_matrix[:, column].astype(int).tolist()
-                decode.bit_powers = payload[:, column].tolist()
-            devices[device_id] = decode
-        return FrameDecode(devices=devices)
+        preamble_powers = symbol_powers[:, :n_preamble]
+        payload_powers = symbol_powers[:, n_preamble:]
+        detected = preamble_powers.min(axis=1) > (
+            noise[:, None] * threshold_scale
+        )
+        preamble_means = preamble_powers.mean(axis=1)
+        bits = (
+            payload_powers > 0.5 * preamble_means[:, None, :]
+        ).astype(np.uint8)
+        return detected, preamble_means, noise, bits, payload_powers

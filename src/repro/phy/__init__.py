@@ -10,8 +10,10 @@ packet-start synchronisation from the up/down-chirp preamble.
 from repro.phy.chirp import ChirpParams, upchirp, downchirp, cyclic_shifted_upchirp
 from repro.phy.demodulation import Demodulator, DechirpResult
 from repro.phy.modulation import CssModulator, CssDemodulator
+from repro.phy.noise import estimate_noise_floor, spectrum_noise_floor
 from repro.phy.onoff import OnOffKeyedTransmitter
 from repro.phy.packet import BackscatterPacket, PacketStructure
+from repro.phy.sparse_readout import SparseReadout, full_fft_powers
 
 __all__ = [
     "ChirpParams",
@@ -22,7 +24,11 @@ __all__ = [
     "DechirpResult",
     "CssModulator",
     "CssDemodulator",
+    "estimate_noise_floor",
+    "spectrum_noise_floor",
     "OnOffKeyedTransmitter",
     "BackscatterPacket",
     "PacketStructure",
+    "SparseReadout",
+    "full_fft_powers",
 ]

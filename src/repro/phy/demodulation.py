@@ -14,12 +14,14 @@ create the near-far problem analysed in Section 3.2.3.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from functools import cached_property
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import DecodingError
 from repro.phy.chirp import ChirpParams, downchirp
+from repro.phy.noise import spectrum_noise_floor
 
 
 @dataclass(frozen=True)
@@ -40,15 +42,19 @@ class DechirpResult:
     params: ChirpParams
     zero_pad_factor: int
 
-    @property
+    # cached_property stores into the instance __dict__ directly, which
+    # sidesteps the frozen-dataclass __setattr__ guard: the spectrum is
+    # immutable, so |.| and |.|^2 are computed at most once per result
+    # (decode_symbols reads .power in a loop per device per symbol).
+    @cached_property
     def magnitude(self) -> np.ndarray:
-        """Magnitude spectrum."""
+        """Magnitude spectrum (computed once, then cached)."""
         return np.abs(self.spectrum)
 
-    @property
+    @cached_property
     def power(self) -> np.ndarray:
-        """Power spectrum."""
-        return np.abs(self.spectrum) ** 2
+        """Power spectrum (computed once, then cached)."""
+        return self.spectrum.real**2 + self.spectrum.imag**2
 
     @property
     def n_bins(self) -> int:
@@ -141,7 +147,7 @@ class Demodulator:
             zero_pad_factor=self._zero_pad_factor,
         )
 
-    def dechirp_frame(self, frame: np.ndarray) -> list:
+    def dechirp_frame(self, frame: np.ndarray) -> List[DechirpResult]:
         """De-spread a frame of back-to-back symbols.
 
         The frame length must be a whole number of symbols.
@@ -170,20 +176,12 @@ class Demodulator:
                     exclude_bins: Optional[Sequence[float]] = None) -> float:
         """Median bin power, excluding neighbourhoods of known peaks.
 
-        A robust noise estimate for presence thresholds: the median is
-        insensitive to the handful of occupied bins.
+        A robust noise estimate for presence thresholds, delegated to the
+        shared estimator in :mod:`repro.phy.noise` (the same rule the
+        batched round decoder applies to its probe bins). Under full
+        occupancy the estimator falls back to a low quantile of the whole
+        spectrum, which tracks the noise + side-lobe floor.
         """
-        power = result.power.copy()
-        if exclude_bins:
-            zp = self._zero_pad_factor
-            for shift in exclude_bins:
-                centre = int(round(shift * zp))
-                idx = (np.arange(-zp, zp + 1) + centre) % power.size
-                power[idx] = np.nan
-        cleaned = power[~np.isnan(power)]
-        if cleaned.size == 0:
-            # Full occupancy (e.g. 256 devices at SKIP = 2) leaves no
-            # signal-free bins; fall back to a low quantile of the whole
-            # spectrum, which tracks the noise + side-lobe floor.
-            return float(np.quantile(result.power, 0.25))
-        return float(np.median(cleaned))
+        return spectrum_noise_floor(
+            result.power, self._zero_pad_factor, exclude_shifts=exclude_bins
+        )

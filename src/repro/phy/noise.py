@@ -1,0 +1,113 @@
+"""Shared noise-floor estimation for the single-FFT receiver.
+
+Historically the library had two divergent noise estimators: the
+per-symbol path (:meth:`repro.phy.demodulation.Demodulator.noise_floor`)
+took the median bin power after excluding neighbourhoods of known peaks,
+while the vectorised round decoder hard-coded a low quantile of the whole
+spectrum. Both are views of the same question — "what does an unoccupied
+bin look like?" — so the answer lives here once:
+
+* median of the candidate (signal-free) bin powers when any survive the
+  exclusions, because the median is insensitive to stray peaks;
+* a low quantile of a fallback set when the exclusions cover everything
+  (e.g. 256 devices at SKIP = 2 occupy every natural bin), which tracks
+  the combined noise + side-lobe floor.
+
+The helper is batch-aware: a ``(n_rounds, n_probes)`` power matrix yields
+one floor per round, which is what the batched decode engine needs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DecodingError
+
+NOISE_FALLBACK_QUANTILE = 0.25
+"""Quantile of the fallback powers used under full occupancy."""
+
+
+def estimate_noise_floor(
+    candidate_powers: np.ndarray,
+    fallback_powers: Optional[np.ndarray] = None,
+    fallback_quantile: float = NOISE_FALLBACK_QUANTILE,
+) -> np.ndarray:
+    """Noise floor from signal-free candidate bins, with occupancy fallback.
+
+    Parameters
+    ----------
+    candidate_powers:
+        Powers of bins believed to be signal-free, shape ``(..., n_free)``.
+        ``n_free`` may be zero (full occupancy).
+    fallback_powers:
+        Powers used when no candidates survive, shape ``(..., n_probes)``.
+        Required if ``candidate_powers`` is empty along its last axis.
+    fallback_quantile:
+        Quantile of the fallback powers standing in for the floor.
+
+    Returns
+    -------
+    The floor per leading index (0-d array for 1-D inputs).
+    """
+    candidate_powers = np.asarray(candidate_powers, dtype=float)
+    if candidate_powers.shape[-1] > 0:
+        return np.median(candidate_powers, axis=-1)
+    if fallback_powers is None:
+        raise DecodingError(
+            "no signal-free bins and no fallback powers provided"
+        )
+    fallback_powers = np.asarray(fallback_powers, dtype=float)
+    if fallback_powers.shape[-1] == 0:
+        raise DecodingError("fallback powers must not be empty")
+    return np.quantile(fallback_powers, fallback_quantile, axis=-1)
+
+
+def exclusion_mask(
+    n_bins: int,
+    zero_pad_factor: int,
+    exclude_shifts: Sequence[float],
+    guard_bins: float = 1.0,
+) -> np.ndarray:
+    """Boolean mask over the interpolated grid: True = excluded.
+
+    A bin is excluded when it lies within ``guard_bins`` natural bins of
+    any excluded cyclic shift (cyclically). This is the neighbourhood the
+    per-symbol estimator has always carved out (``+/- zp`` interpolated
+    bins for the default guard of one natural bin).
+    """
+    mask = np.zeros(n_bins, dtype=bool)
+    zp = int(zero_pad_factor)
+    guard = max(1, int(round(guard_bins * zp)))
+    offsets = np.arange(-guard, guard + 1)
+    for shift in exclude_shifts:
+        centre = int(round(float(shift) * zp))
+        mask[(centre + offsets) % n_bins] = True
+    return mask
+
+
+def spectrum_noise_floor(
+    power: np.ndarray,
+    zero_pad_factor: int,
+    exclude_shifts: Optional[Sequence[float]] = None,
+    fallback_quantile: float = NOISE_FALLBACK_QUANTILE,
+) -> float:
+    """Floor of one full interpolated power spectrum.
+
+    The per-symbol form: median over all interpolated bins outside the
+    excluded neighbourhoods; quantile of the whole spectrum when the
+    exclusions leave nothing.
+    """
+    power = np.asarray(power, dtype=float)
+    if exclude_shifts:
+        mask = exclusion_mask(power.size, zero_pad_factor, exclude_shifts)
+        candidates = power[~mask]
+    else:
+        candidates = power
+    return float(
+        estimate_noise_floor(
+            candidates, fallback_powers=power,
+            fallback_quantile=fallback_quantile,
+        )
+    )

@@ -15,12 +15,12 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.analysis.airtime import netscatter_round_airtime_s
-from repro.channel.awgn import awgn
+from repro.channel.awgn import awgn_rounds
 from repro.channel.deployment import Deployment
 from repro.constants import PAYLOAD_CRC_BITS, QUERY_BITS_CONFIG1
 from repro.core.allocation import power_aware_allocation
 from repro.core.config import NetScatterConfig
-from repro.core.dcss import compose_round_matrix
+from repro.core.dcss import compose_rounds
 from repro.core.receiver import NetScatterReceiver
 from repro.errors import ConfigurationError
 from repro.hardware.mcu import McuTimingModel
@@ -182,12 +182,12 @@ class NetworkSimulator:
     # round execution
     # ------------------------------------------------------------------ #
 
-    def run_round(self, fading: bool = False) -> RoundResult:
-        """One full concurrent round: compose, add noise, decode, account.
+    def _draw_round_inputs(self, fading: bool):
+        """Draw one round's composition inputs (bins, amps, phases, bits).
 
-        SNR convention: the weakest *effective* device defines the noise
-        level (its amplitude is the reference at its SNR); every other
-        device's amplitude follows from its SNR relative to that.
+        Kept sequential because the fading processes are Markov state
+        stepped round by round; everything downstream of the draws is
+        batched across rounds.
         """
         effective = self.effective_snrs_db()
         if fading:
@@ -202,12 +202,7 @@ class NetworkSimulator:
 
         n_devices = self._deployment.n_devices
         params = self._params
-        delays = np.array(
-            [
-                self._timing.sample_latency_s(self._rng)
-                for _ in range(n_devices)
-            ]
-        )
+        delays = self._timing.sample_latencies_s(n_devices, self._rng)
         # The receiver synchronises to the concurrent preamble, which
         # locks onto the population's common-mode delay; only per-device
         # deviations from it survive as residual bin offsets.
@@ -225,51 +220,94 @@ class NetworkSimulator:
         )
         amplitudes = 10.0 ** (rel_gains_db / 20.0)
         phases = self._rng.uniform(0.0, 2.0 * np.pi, size=n_devices)
-
-        n_preamble = self._structure.n_preamble_upchirps
-        bit_matrix = np.ones(
-            (n_preamble + self._payload_bits, n_devices)
-        )
         payload_bits = self._rng.integers(
             0, 2, size=(self._payload_bits, n_devices)
         )
-        bit_matrix[n_preamble:] = payload_bits
+        return effective_bins, amplitudes, phases, payload_bits, floor_snr
 
-        symbols = compose_round_matrix(
-            params, effective_bins, amplitudes, phases, bit_matrix
+    def _run_batch(self, n_rounds: int, fading: bool):
+        """Compose, noise-load and decode ``n_rounds`` in one batch.
+
+        Returns ``(decode, payload_tensor, floor_snrs)`` where ``decode``
+        is the engine's :class:`RoundsDecode` and ``payload_tensor`` is
+        ``(n_rounds, payload_bits, n_devices)``.
+        """
+        draws = [self._draw_round_inputs(fading) for _ in range(n_rounds)]
+        bins = np.stack([d[0] for d in draws])
+        amplitudes = np.stack([d[1] for d in draws])
+        phases = np.stack([d[2] for d in draws])
+        payload = np.stack([d[3] for d in draws])
+        floors = np.array([d[4] for d in draws])
+
+        n_devices = self._deployment.n_devices
+        n_preamble = self._structure.n_preamble_upchirps
+        bit_tensor = np.ones(
+            (n_rounds, n_preamble + self._payload_bits, n_devices)
         )
-        noisy = awgn(symbols, floor_snr, self._rng)
-        decode = self._receiver.decode_round_matrix(
+        bit_tensor[:, n_preamble:] = payload
+
+        symbols = compose_rounds(
+            self._params, bins, amplitudes, phases, bit_tensor
+        )
+        noisy = awgn_rounds(symbols, floors, self._rng)
+        decode = self._receiver.decode_rounds(
             noisy, n_preamble_upchirps=n_preamble
         )
+        return decode, payload, floors
 
+    def run_round(self, fading: bool = False) -> RoundResult:
+        """One full concurrent round: compose, add noise, decode, account.
+
+        SNR convention: the weakest *effective* device defines the noise
+        level (its amplitude is the reference at its SNR); every other
+        device's amplitude follows from its SNR relative to that.
+        """
+        decode, payload, _ = self._run_batch(1, fading)
+        frame = decode.frame(0)
         airtime = netscatter_round_airtime_s(
             self._config, self._query_bits, self._structure
         )
-        result = RoundResult(n_devices=n_devices, airtime=airtime)
+        result = RoundResult(
+            n_devices=self._deployment.n_devices, airtime=airtime
+        )
         for index, device in enumerate(self._deployment.devices):
-            result.sent_bits[device.device_id] = payload_bits[
-                :, index
+            result.sent_bits[device.device_id] = payload[
+                0, :, index
             ].tolist()
-            dec = decode.devices[index]
+            dec = frame.devices[index]
             result.detected[device.device_id] = dec.detected
             result.received_bits[device.device_id] = list(dec.bits)
         return result
 
     def run_rounds(self, n_rounds: int, fading: bool = False) -> NetworkMetrics:
-        """Run several rounds and aggregate into the Fig. 17-19 metrics."""
+        """Run several rounds and aggregate into the Fig. 17-19 metrics.
+
+        All rounds flow through the batched decode engine; the per-round
+        scoring is vectorised (a bit counts only when its device's
+        preamble was detected, matching the per-round decoder's empty
+        bit list for undetected devices).
+        """
         if n_rounds < 1:
             raise ConfigurationError("need at least one round")
-        total_correct = 0
-        total_sent = 0
-        delivered = 0
-        airtime = None
-        for _ in range(n_rounds):
-            result = self.run_round(fading=fading)
-            total_correct += result.total_bits_correct
-            total_sent += result.total_bits_sent
-            delivered += result.packets_delivered
-            airtime = result.airtime
+        decode, payload, _ = self._run_batch(n_rounds, fading)
+        # The engine's columns follow the assignment order, which the
+        # power-aware allocator does not keep in device-index order;
+        # realign them with the payload tensor's device-index columns.
+        columns = np.array(
+            [
+                decode.column_of(i)
+                for i in range(self._deployment.n_devices)
+            ],
+            dtype=int,
+        )
+        detected = decode.detected[:, columns]  # (R, D)
+        match = decode.bits[:, :, columns] == payload.astype(np.uint8)
+        total_correct = int(np.sum(match & detected[:, None, :]))
+        total_sent = int(payload.size)
+        delivered = int(np.sum(detected & match.all(axis=1)))
+        airtime = netscatter_round_airtime_s(
+            self._config, self._query_bits, self._structure
+        )
         n = self._deployment.n_devices
         delivery = delivered / (n * n_rounds)
         ber = 1.0 - total_correct / total_sent if total_sent else 0.0

@@ -16,10 +16,10 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.channel.awgn import awgn
+from repro.channel.awgn import awgn_rounds
 from repro.channel.deployment import Deployment, paper_deployment
 from repro.core.config import NetScatterConfig
-from repro.core.dcss import compose_round_matrix
+from repro.core.dcss import compose_rounds
 from repro.core.receiver import NetScatterReceiver
 from repro.errors import ConfigurationError
 from repro.hardware.device import BackscatterDevice, DeviceState
@@ -184,7 +184,12 @@ class NetworkSession:
     def _transmit_round(
         self, participants: List[int], gains: Dict[int, float]
     ) -> float:
-        """Compose, decode and score one concurrent transmission."""
+        """Compose, decode and score one concurrent transmission.
+
+        Runs as a one-round batch through the receiver's cached
+        sparse-readout engine; the participant set (and hence the plan)
+        only changes when the AP reassigns, which rebuilds the receiver.
+        """
         assignments = self._ap.assignments()
         by_dep = {d.device_id: d for d in self._deployment.devices}
         effective = [
@@ -193,9 +198,7 @@ class NetworkSession:
         ]
         floor = min(effective)
         n = len(participants)
-        delays = np.array(
-            [self._timing.sample_latency_s(self._rng) for _ in range(n)]
-        )
+        delays = self._timing.sample_latencies_s(n, self._rng)
         delays -= delays.mean()
         bins = (
             np.array([assignments[i] for i in participants], dtype=float)
@@ -206,21 +209,24 @@ class NetworkSession:
         payload = self._rng.integers(
             0, 2, size=(self._payload_bits, n)
         )
-        bit_matrix = np.vstack([np.ones((6, n)), payload])
-        symbols = compose_round_matrix(
-            self._params, bins, amplitudes, phases, bit_matrix
+        bit_tensor = np.vstack([np.ones((6, n)), payload])[None, :, :]
+        symbols = compose_rounds(
+            self._params,
+            bins[None, :],
+            amplitudes[None, :],
+            phases[None, :],
+            bit_tensor,
         )
-        decode = self._receiver.decode_round_matrix(
-            awgn(symbols, floor, self._rng)
+        decode = self._receiver.decode_rounds(
+            awgn_rounds(symbols, floor, self._rng)
         )
-        delivered = 0
-        for column, device_id in enumerate(participants):
-            got = decode.devices[device_id].bits
-            sent = payload[:, column].tolist()
-            if len(got) == len(sent) and all(
-                a == b for a, b in zip(sent, got)
-            ):
-                delivered += 1
+        columns = np.array(
+            [decode.column_of(i) for i in participants], dtype=int
+        )
+        match = (
+            decode.bits[0][:, columns] == payload.astype(np.uint8)
+        ).all(axis=0)
+        delivered = int(np.sum(decode.detected[0, columns] & match))
         return delivered / n
 
     def run(self, n_rounds: int) -> SessionStats:

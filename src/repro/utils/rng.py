@@ -44,6 +44,21 @@ def spawn_rngs(seed: RngLike, count: int) -> list:
     return [child_rng(base, i) for i in range(count)]
 
 
+def standard_complex_normal(rng: RngLike, shape) -> np.ndarray:
+    """iid circular CN(0, 1) draws of the given shape.
+
+    One interleaved real Gaussian call re-viewed as complex — identical
+    statistics to two separate real/imaginary draws, half the RNG-call
+    overhead. Each component has unit *complex* variance (real and
+    imaginary parts each carry 1/2), so callers scale by the square
+    root of the desired complex noise power.
+    """
+    generator = make_rng(rng)
+    shape = tuple(shape)
+    draws = generator.standard_normal(shape + (2,))
+    return draws.view(complex).reshape(shape) * np.sqrt(0.5)
+
+
 def optional_seed(seed: RngLike) -> Optional[int]:
     """Extract a reportable integer seed, or ``None`` for entropy seeding."""
     if isinstance(seed, (int, np.integer)):
