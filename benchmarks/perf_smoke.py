@@ -1,21 +1,28 @@
-"""Perf smoke: time the bin-domain fast path, write BENCH_fastpath.json.
+"""Perf smoke: time the bin-domain fast paths, append BENCH_fastpath.json.
 
-Runs reduced Fig. 12 / Fig. 15b sweeps two ways and records wall-clock
-plus payload symbols decoded per second:
+Runs reduced versions of the hot sweeps several ways and records
+wall-clock:
 
-* ``per_round_fft`` — the pre-engine shape of the hot loop: one round at
-  a time, full zero-padded FFT readout, time-domain AWGN per round (the
-  seed implementation's cost profile);
-* ``batched_sparse`` — the current production path: whole sweep point
-  batched, sparse readout, readout-domain noise.
+* Fig. 12: ``per_round_fft`` (the seed implementation's cost profile:
+  one round at a time, full zero-padded FFT readout, time-domain AWGN)
+  vs ``batched_sparse`` (the PR-1 engine);
+* Fig. 15b: the batched sparse path;
+* Fig. 17 network sweep: ``time_engine`` (compose_rounds waveform
+  tensors + time-domain AWGN + sparse readout) vs ``analytic`` (the
+  waveform-free Dirichlet-kernel engine) vs ``analytic_float32``
+  (complex64 operators for the largest points);
+* the Fig. 17/18/19 figure drivers end to end, and the vectorised
+  Section 2.2 Monte-Carlo block.
 
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py
 
-The JSON lands next to this file's repo root as ``BENCH_fastpath.json``
-so future PRs have a perf trajectory to compare against. Numbers are
-machine-dependent; the ratio is the signal.
+``BENCH_fastpath.json`` is *append-only*: each invocation adds one run
+entry under ``runs``, so the perf trajectory accumulates across PRs
+instead of being overwritten (a legacy single-run v1 file is imported
+as the first entry). Numbers are machine-dependent; ratios within one
+run are the signal.
 """
 
 from __future__ import annotations
@@ -28,10 +35,19 @@ from pathlib import Path
 import numpy as np
 
 from repro.channel.awgn import awgn
+from repro.channel.deployment import paper_deployment
 from repro.core.config import NetScatterConfig
 from repro.core.dcss import compose_round_matrix
 from repro.core.receiver import NetScatterReceiver
-from repro.experiments import fig12_nearfar_ber, fig15_doppler_dr
+from repro.experiments import (
+    fig12_nearfar_ber,
+    fig15_doppler_dr,
+    fig17_phy_rate,
+    fig18_linklayer,
+    fig19_latency,
+    sec22_analytics,
+)
+from repro.protocol.network import sweep_device_counts
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_fastpath.json"
@@ -42,6 +58,9 @@ FIG15_SEPARATIONS = (2, 16, 256)
 FIG15_SYMBOLS = 400
 FRAME_PAYLOAD = 40
 N_PREAMBLE = 6
+
+FIG17_COUNTS = (1, 16, 32, 64, 96, 128, 160, 192, 224, 256)
+FIG17_ROUNDS = 3
 
 
 def _legacy_ber_point(config, snr_db, power_delta_db, n_symbols, rng):
@@ -131,9 +150,72 @@ def _time_fig15_batched() -> dict:
     }
 
 
+def _time_fig17_sweep(engine: str, float32_min_devices=None) -> dict:
+    deployment = paper_deployment(n_devices=256, rng=2026)
+    config = NetScatterConfig(n_association_shifts=0)
+    start = time.perf_counter()
+    metrics = sweep_device_counts(
+        deployment,
+        FIG17_COUNTS,
+        config=config,
+        n_rounds=FIG17_ROUNDS,
+        rng=17,
+        engine=engine,
+        float32_min_devices=float32_min_devices,
+    )
+    elapsed = time.perf_counter() - start
+    return {
+        "wall_clock_s": round(elapsed, 3),
+        "sweep_points": len(FIG17_COUNTS),
+        "n_rounds": FIG17_ROUNDS,
+        "phy_rate_kbps_at_256": round(metrics[-1].phy_rate_bps / 1e3, 1),
+    }
+
+
+def _time_callable(fn, **kwargs) -> dict:
+    start = time.perf_counter()
+    fn(**kwargs)
+    return {"wall_clock_s": round(time.perf_counter() - start, 3)}
+
+
+def _load_previous_runs() -> list:
+    """Existing run history; a legacy v1 file becomes the first entry.
+
+    The file is append-only across PRs, so never silently drop what is
+    there: unparsable JSON aborts with instructions instead of letting
+    the subsequent write clobber the trajectory, and an unrecognised
+    schema is preserved verbatim as an opaque entry.
+    """
+    if not OUTPUT.exists():
+        return []
+    try:
+        data = json.loads(OUTPUT.read_text())
+    except json.JSONDecodeError as error:
+        raise SystemExit(
+            f"{OUTPUT} exists but is not valid JSON ({error}); fix or "
+            "move it aside before benchmarking — refusing to overwrite "
+            "the accumulated perf history"
+        )
+    if not isinstance(data, dict):
+        return [
+            {"note": "unrecognised schema, preserved as-is", "data": data}
+        ]
+    if data.get("schema") == "bench-fastpath-v2":
+        return list(data.get("runs", []))
+    if data.get("schema") == "bench-fastpath-v1":
+        legacy = {
+            key: data[key]
+            for key in ("host", "fig12", "fig15b")
+            if key in data
+        }
+        legacy["note"] = "imported from single-run bench-fastpath-v1"
+        return [legacy]
+    return [{"note": "unrecognised schema, preserved as-is", "data": data}]
+
+
 def main() -> dict:
-    report = {
-        "schema": "bench-fastpath-v1",
+    run = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "host": {
             "platform": platform.platform(),
             "python": platform.python_version(),
@@ -146,16 +228,43 @@ def main() -> dict:
         "fig15b": {
             "batched_sparse": _time_fig15_batched(),
         },
+        "fig17_sweep": {
+            "time_engine": _time_fig17_sweep("time"),
+            "analytic": _time_fig17_sweep("analytic"),
+            "analytic_float32": _time_fig17_sweep(
+                "analytic", float32_min_devices=160
+            ),
+        },
+        "figure_drivers": {
+            "fig17": _time_callable(fig17_phy_rate.run, rng=17),
+            "fig18": _time_callable(fig18_linklayer.run, rng=18),
+            "fig19": _time_callable(fig19_latency.run, rng=19),
+            "sec22": _time_callable(sec22_analytics.run, rng=22),
+        },
     }
-    fig12 = report["fig12"]
+    fig12 = run["fig12"]
     fig12["speedup"] = round(
         fig12["per_round_fft"]["wall_clock_s"]
         / fig12["batched_sparse"]["wall_clock_s"],
         2,
     )
+    fig17 = run["fig17_sweep"]
+    fig17["speedup_analytic"] = round(
+        fig17["time_engine"]["wall_clock_s"]
+        / fig17["analytic"]["wall_clock_s"],
+        2,
+    )
+    fig17["speedup_analytic_float32"] = round(
+        fig17["time_engine"]["wall_clock_s"]
+        / fig17["analytic_float32"]["wall_clock_s"],
+        2,
+    )
+    runs = _load_previous_runs()
+    runs.append(run)
+    report = {"schema": "bench-fastpath-v2", "runs": runs}
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
-    print(json.dumps(report, indent=2))
-    print(f"\nwrote {OUTPUT}")
+    print(json.dumps(run, indent=2))
+    print(f"\nappended run {len(runs)} to {OUTPUT}")
     return report
 
 

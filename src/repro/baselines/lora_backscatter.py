@@ -69,21 +69,25 @@ class LoRaBackscatterNetwork:
     def n_devices(self) -> int:
         return len(self._snrs)
 
+    def _device_choice(self, index: int):
+        """The adapted rate choice for one device (None when fixed-rate
+        or out of range)."""
+        if not self._rate_adaptation:
+            return None
+        return best_choice(self._snrs[index])
+
     def device_bitrate_bps(self, index: int) -> float:
         """Payload bitrate the indexed device transmits at."""
-        if not self._rate_adaptation:
-            return self._fixed_bitrate
-        choice = best_choice(self._snrs[index])
+        choice = self._device_choice(index)
         if choice is None:
-            # Out-of-range device: fall back to the slowest configuration.
+            # Fixed-rate mode, or an out-of-range device falling back to
+            # the slowest configuration.
             return self._fixed_bitrate
         return choice.bitrate_bps
 
     def device_preamble_s(self, index: int, n_symbols: int = 8) -> float:
         """Preamble duration for the device's chosen modulation."""
-        if not self._rate_adaptation:
-            return n_symbols * self._fixed_params.symbol_duration_s
-        choice = best_choice(self._snrs[index])
+        choice = self._device_choice(index)
         params = choice.params if choice is not None else self._fixed_params
         return n_symbols * params.symbol_duration_s
 

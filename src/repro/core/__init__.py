@@ -12,6 +12,7 @@ from repro.core.dcss import (
     DeviceTransmission,
     compose_symbol,
     compose_frame,
+    compose_readout,
     compose_round_matrix,
     compose_rounds,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "DeviceTransmission",
     "compose_symbol",
     "compose_frame",
+    "compose_readout",
     "compose_round_matrix",
     "compose_rounds",
     "NetScatterReceiver",

@@ -271,14 +271,26 @@ class _ReadoutPlan:
         distribution of unit-power time-domain AWGN seen through one
         device's window readout. Identical for every device because the
         windows are translations of the same interpolated-bin pattern
-        and the covariance depends only on bin *separations*. Factored
-        through the eigendecomposition: sub-bin-spaced readout bins are
-        almost perfectly correlated, so the covariance is numerically
-        rank-deficient and a plain Cholesky would fail on round-off.
+        and the covariance depends only on bin *separations* — which is
+        also why the covariance has the closed Dirichlet-kernel form
+        (:meth:`repro.phy.sparse_readout.SparseReadout.analytic_noise_covariance`):
+        computing it that way keeps the analytic decode path free of
+        the ``(N, K)`` operator *and* makes the factor bit-identical
+        between the pre-dechirp and dechirped-domain plans, so noise
+        drawn with the same generator state matches across every
+        composition path. Factored through the eigendecomposition:
+        sub-bin-spaced readout bins are almost perfectly correlated, so
+        the covariance is numerically rank-deficient and a plain
+        Cholesky would fail on round-off.
         """
         if self._window_noise_factor is None:
-            device0 = self.window_readout._op[:, : self.window_width]
-            covariance = device0.T @ np.conjugate(device0)
+            device0 = SparseReadout(
+                self.window_readout.params,
+                self.window_readout.zero_pad_factor,
+                self.window_idx[0],
+                fold_downchirp=False,
+            )
+            covariance = device0.analytic_noise_covariance()
             eigenvalues, eigenvectors = np.linalg.eigh(covariance)
             self._window_noise_factor = eigenvectors * np.sqrt(
                 np.clip(eigenvalues, 0.0, None)
@@ -301,17 +313,30 @@ def _inject_readout_noise(
     tensor: each device window gets correlated noise via the shared
     Cholesky factor; the natural-grid probes are mutually orthogonal and
     get iid noise of per-bin power ``2^SF * noise_power``.
+
+    The draw precision follows the values: single-precision readout
+    batches (``decode_readout(dtype=numpy.complex64)``) get float32
+    noise — same law, roughly half the generation and mixing cost —
+    while the default double path consumes the generator exactly as
+    before.
     """
     r, s, d, w = window_values.shape
+    single = window_values.dtype == np.complex64
+    real_dtype = np.float32 if single else np.float64
     factor = plan.window_noise_factor
-    zeta = standard_complex_normal(rng, (r, s, d, w))
+    if single:
+        factor = factor.astype(np.complex64)
+        noise_scale = noise_scale.astype(np.float32)
+    zeta = standard_complex_normal(rng, (r, s, d, w), dtype=real_dtype)
     window_noise = zeta @ factor.T
     window_values = window_values + (
         noise_scale[:, None, None, None] * window_noise
     )
-    probe_noise = standard_complex_normal(rng, probe_values.shape)
+    probe_noise = standard_complex_normal(
+        rng, probe_values.shape, dtype=real_dtype
+    )
     probe_values = probe_values + (
-        noise_scale[:, None] * np.sqrt(float(plan.n_samples))
+        noise_scale[:, None] * real_dtype(np.sqrt(float(plan.n_samples)))
     ) * probe_noise
     return window_values, probe_values
 
@@ -339,6 +364,11 @@ class NetScatterReceiver:
         exact path computing the full zero-padded FFT and gathering the
         same bins. Both produce bit-identical decisions (the sparse
         operator *is* the padded FFT restricted to the read columns).
+        ``"analytic"`` declares the receiver's primary entry point to be
+        :meth:`decode_readout` (tone-sum rounds evaluated via the
+        closed-form Dirichlet kernel, never building the operator);
+        tensor inputs handed to :meth:`decode_rounds` then fall back to
+        the sparse backend.
     """
 
     def __init__(
@@ -365,9 +395,10 @@ class NetScatterReceiver:
         )
         if search_width_bins is None:
             search_width_bins = config.skip / 4.0
-        if readout not in ("sparse", "fft"):
+        if readout not in ("sparse", "fft", "analytic"):
             raise DecodingError(
-                f"readout must be 'sparse' or 'fft', got {readout!r}"
+                "readout must be 'sparse', 'fft' or 'analytic', "
+                f"got {readout!r}"
             )
         self._search_width = float(search_width_bins)
         self._detection_snr = float(detection_snr_db)
@@ -600,21 +631,9 @@ class NetScatterReceiver:
         if n_symbols < n_preamble_upchirps:
             raise DecodingError("fewer symbols than preamble length")
 
-        noise_scale = None
-        if noise_snr_db is not None:
-            if rng is None:
-                raise DecodingError("readout-domain noise needs an rng")
-            if signal_power <= 0:
-                raise DecodingError("signal_power must be positive")
-            snr = np.asarray(noise_snr_db, dtype=float)
-            if snr.ndim > 1 or (snr.ndim == 1 and snr.size != n_rounds):
-                raise DecodingError(
-                    "noise_snr_db must be scalar or one value per round"
-                )
-            noise_scale = np.broadcast_to(
-                np.sqrt(signal_power / 10.0 ** (snr / 10.0)), (n_rounds,)
-            )
-
+        noise_scale = self._noise_scale(
+            noise_snr_db, rng, signal_power, n_rounds
+        )
         plan = self._readout_plan(dechirped)
         if self._readout == "fft":
             # The exact path materialises the full zero-padded grid.
@@ -636,6 +655,126 @@ class NetScatterReceiver:
             )
             for start in range(0, n_rounds, chunk)
         ]
+        return self._assemble_decode(pieces)
+
+    def decode_readout(
+        self,
+        effective_bins: np.ndarray,
+        amplitudes: np.ndarray,
+        phases_rad: np.ndarray,
+        bit_tensor: np.ndarray,
+        n_preamble_upchirps: int = 6,
+        noise_snr_db=None,
+        rng=None,
+        signal_power: float = 1.0,
+        dtype=None,
+    ) -> RoundsDecode:
+        """Analytic entry point: decode tone-sum rounds waveform-free.
+
+        Takes the *composition inputs* of
+        :func:`repro.core.dcss.compose_rounds` —
+        ``(n_rounds, n_devices)`` fractional effective bins, amplitudes
+        and phases plus the ``(n_rounds, n_symbols, n_devices)`` keying
+        tensor — and evaluates each device tone directly at this
+        receiver's readout bins via the closed-form Dirichlet kernel
+        (:func:`repro.core.dcss.compose_readout`). No
+        ``(rounds, symbols, 2^SF)`` tensor is ever materialised and the
+        sparse-readout operator is never built; the values then flow
+        through exactly the detection/decision logic of
+        :meth:`decode_rounds`, so decisions match the time-domain path
+        bit for bit on tone-sum inputs.
+
+        ``noise_snr_db`` / ``rng`` / ``signal_power`` compose with the
+        exact readout-domain AWGN injection of :meth:`decode_rounds`
+        (same covariance, same draw order — a shared generator state
+        yields identical noise on both paths for single-chunk batches).
+        ``dtype=numpy.complex64`` switches the kernel and matmuls to
+        single precision for very large device counts.
+        """
+        from repro.core.dcss import compose_readout
+
+        effective_bins = np.asarray(effective_bins, dtype=float)
+        bit_tensor = np.asarray(bit_tensor, dtype=float)
+        if effective_bins.ndim != 2 or bit_tensor.ndim != 3:
+            raise DecodingError(
+                "effective_bins must be (n_rounds, n_devices) and "
+                "bit_tensor (n_rounds, n_symbols, n_devices)"
+            )
+        amplitudes = np.asarray(amplitudes, dtype=float)
+        phases_rad = np.asarray(phases_rad, dtype=float)
+        n_rounds, n_symbols, _ = bit_tensor.shape
+        if n_symbols < n_preamble_upchirps:
+            raise DecodingError("fewer symbols than preamble length")
+        noise_scale = self._noise_scale(
+            noise_snr_db, rng, signal_power, n_rounds
+        )
+        # The kernel is domain-free (it reads the dechirped tone), so
+        # use the dechirped-domain plan: identical bin layout and noise
+        # factor, no downchirp fold anywhere.
+        plan = self._readout_plan(dechirped=True)
+        n_tx = effective_bins.shape[1]
+        elements_per_round = n_symbols * plan.window_readout.n_bins + n_tx * (
+            plan.window_readout.n_bins + plan.probe_readout.n_bins
+        )
+        chunk = max(1, _CHUNK_ELEMENT_BUDGET // max(1, elements_per_round))
+        pieces = []
+        for start in range(0, n_rounds, chunk):
+            stop = start + chunk
+            window_flat = compose_readout(
+                self._params,
+                effective_bins[start:stop],
+                amplitudes[start:stop],
+                phases_rad[start:stop],
+                bit_tensor[start:stop],
+                plan.window_readout,
+                dtype=dtype,
+            )
+            window_values = window_flat.reshape(
+                window_flat.shape[:2] + (plan.n_devices, plan.window_width)
+            )
+            # The noise floor reads only the first symbol's probes.
+            probe_values = compose_readout(
+                self._params,
+                effective_bins[start:stop],
+                amplitudes[start:stop],
+                phases_rad[start:stop],
+                bit_tensor[start:stop, :1],
+                plan.probe_readout,
+                dtype=dtype,
+            )[:, 0, :]
+            pieces.append(
+                self._decide_chunk(
+                    window_values,
+                    probe_values,
+                    n_preamble_upchirps,
+                    plan,
+                    None if noise_scale is None else noise_scale[
+                        start:stop
+                    ],
+                    rng,
+                )
+            )
+        return self._assemble_decode(pieces)
+
+    def _noise_scale(self, noise_snr_db, rng, signal_power, n_rounds):
+        """Validate and broadcast the readout-noise amplitude per round."""
+        if noise_snr_db is None:
+            return None
+        if rng is None:
+            raise DecodingError("readout-domain noise needs an rng")
+        if signal_power <= 0:
+            raise DecodingError("signal_power must be positive")
+        snr = np.asarray(noise_snr_db, dtype=float)
+        if snr.ndim > 1 or (snr.ndim == 1 and snr.size != n_rounds):
+            raise DecodingError(
+                "noise_snr_db must be scalar or one value per round"
+            )
+        return np.broadcast_to(
+            np.sqrt(signal_power / 10.0 ** (snr / 10.0)), (n_rounds,)
+        )
+
+    def _assemble_decode(self, pieces) -> RoundsDecode:
+        """Stack per-chunk decision arrays into one :class:`RoundsDecode`."""
         device_ids = list(self._assignments)
         shifts = np.array(
             [self._assignments[d] for d in device_ids], dtype=int
@@ -661,6 +800,27 @@ class NetScatterReceiver:
         """Vectorised decode of one round chunk -> per-round arrays."""
         exact = self._readout == "fft"
         window_values, probe_values = plan.read(tensor, exact)
+        return self._decide_chunk(
+            window_values, probe_values, n_preamble, plan, noise_scale, rng
+        )
+
+    def _decide_chunk(
+        self,
+        window_values: np.ndarray,
+        probe_values: np.ndarray,
+        n_preamble: int,
+        plan: _ReadoutPlan,
+        noise_scale,
+        rng,
+    ):
+        """Detection/decision logic on readout values, however composed.
+
+        ``window_values`` is ``(R, S, D, W)`` complex, ``probe_values``
+        ``(R, n_probes)`` complex (symbol 0 only). Shared verbatim by
+        the time-domain (:meth:`decode_rounds`) and analytic
+        (:meth:`decode_readout`) entry points, which is what makes their
+        decisions comparable bit for bit.
+        """
         if noise_scale is not None:
             window_values, probe_values = _inject_readout_noise(
                 plan, window_values, probe_values, noise_scale, rng

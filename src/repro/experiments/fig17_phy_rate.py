@@ -22,7 +22,7 @@ from repro.baselines.lora_backscatter import LoRaBackscatterNetwork
 from repro.channel.deployment import Deployment, paper_deployment
 from repro.core.config import NetScatterConfig
 from repro.experiments.common import ExperimentResult
-from repro.protocol.network import NetworkSimulator
+from repro.protocol.network import sweep_device_counts
 from repro.utils.rng import RngLike, child_rng, make_rng
 
 DEFAULT_DEVICE_COUNTS = (1, 16, 32, 64, 96, 128, 160, 192, 224, 256)
@@ -36,8 +36,17 @@ def run(
     device_counts: Sequence[int] = DEFAULT_DEVICE_COUNTS,
     n_rounds: int = 3,
     rng: RngLike = None,
+    engine: str = "analytic",
+    workers: Optional[int] = None,
+    float32_min_devices: Optional[int] = None,
 ) -> ExperimentResult:
-    """Sweep device counts and tabulate all four schemes' PHY rates."""
+    """Sweep device counts and tabulate all four schemes' PHY rates.
+
+    The NetScatter points run as one cross-point batch through
+    :func:`sweep_device_counts` (analytic Dirichlet-kernel engine by
+    default; pass ``engine="time"`` with ``workers=`` for the reference
+    time-domain path in a process pool).
+    """
     generator = make_rng(rng)
     if deployment is None:
         deployment = paper_deployment(rng=child_rng(generator, 0))
@@ -54,16 +63,21 @@ def run(
             "netscatter_kbps",
         ],
     )
+    sweep = sweep_device_counts(
+        deployment,
+        device_counts,
+        config=config,
+        n_rounds=n_rounds,
+        rng=generator,
+        engine=engine,
+        workers=workers,
+        float32_min_devices=float32_min_devices,
+    )
     netscatter_rates = []
-    for count in device_counts:
-        subset = deployment.subset(count)
-        snrs = subset.snrs_db().tolist()
+    for count, metrics in zip(device_counts, sweep):
+        snrs = deployment.subset(count).snrs_db().tolist()
         fixed = LoRaBackscatterNetwork(snrs, rate_adaptation=False)
         adaptive = LoRaBackscatterNetwork(snrs, rate_adaptation=True)
-        sim = NetworkSimulator(
-            subset, config=config, rng=child_rng(generator, count)
-        )
-        metrics = sim.run_rounds(n_rounds)
         ideal = count * config.device_bitrate_bps
         netscatter_rates.append(metrics.phy_rate_bps)
         result.rows.append(

@@ -116,12 +116,35 @@ class McuTimingModel:
         """
         return timing_offset_to_bins(self.jitter_span_s, params.bandwidth_hz)
 
-    def sample_latencies_s(self, n: int, rng: RngLike = None) -> np.ndarray:
-        """``n`` independent per-packet latency draws."""
-        if n < 1:
+    def sample_latencies_s(self, n, rng: RngLike = None) -> np.ndarray:
+        """Independent per-packet latency draws, vectorised.
+
+        ``n`` is a count or a shape tuple (the network simulator draws a
+        whole ``(rounds, devices)`` batch at once). The stage jitters and
+        the glitch tail are drawn as whole arrays instead of a Python
+        loop of per-stage calls — same distribution, two orders of
+        magnitude fewer ``Generator`` invocations.
+        """
+        shape = (int(n),) if np.isscalar(n) else tuple(int(s) for s in n)
+        if any(s < 1 for s in shape) or not shape:
             raise HardwareModelError("need at least one draw")
         generator = make_rng(rng)
-        return np.array([self.sample_latency_s(generator) for _ in range(n)])
+        latency = np.full(shape, self.min_latency_s)
+        for jitter in (
+            self.detector_jitter_s,
+            self.mcu_jitter_s,
+            self.fpga_jitter_s,
+        ):
+            if jitter > 0:
+                latency += generator.uniform(0.0, jitter, size=shape)
+        if self.glitch_probability > 0:
+            glitched = generator.uniform(size=shape) < self.glitch_probability
+            latency += np.where(
+                glitched,
+                generator.uniform(0.0, self.glitch_extra_s, size=shape),
+                0.0,
+            )
+        return latency
 
 
 def paper_timing_model() -> McuTimingModel:

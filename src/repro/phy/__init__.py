@@ -13,7 +13,11 @@ from repro.phy.modulation import CssModulator, CssDemodulator
 from repro.phy.noise import estimate_noise_floor, spectrum_noise_floor
 from repro.phy.onoff import OnOffKeyedTransmitter
 from repro.phy.packet import BackscatterPacket, PacketStructure
-from repro.phy.sparse_readout import SparseReadout, full_fft_powers
+from repro.phy.sparse_readout import (
+    SparseReadout,
+    dirichlet_kernel,
+    full_fft_powers,
+)
 
 __all__ = [
     "ChirpParams",
@@ -30,5 +34,6 @@ __all__ = [
     "BackscatterPacket",
     "PacketStructure",
     "SparseReadout",
+    "dirichlet_kernel",
     "full_fft_powers",
 ]

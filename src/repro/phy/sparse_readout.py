@@ -22,6 +22,16 @@ level.
 The operator is built once per receiver (the bins depend only on the
 assignments) and reused for every round — the caching the per-call FFT
 path never had.
+
+For *tone-sum* inputs the time domain can be skipped altogether: a
+device whose dechirped contribution is the pure tone
+``a * exp(j*(2*pi*b*t/N + phi))`` reads out at interpolated bin ``q``
+as ``a * exp(j*phi) * D_N(b - q/zp)`` where ``D_N`` is the Dirichlet
+kernel (:func:`dirichlet_kernel`). :meth:`SparseReadout.tone_kernel`
+evaluates that closed form at every readout bin without materialising
+any ``n_samples``-length waveform — the analytic composition path of
+:func:`repro.core.dcss.compose_readout`. The operator matrix itself is
+built lazily so purely analytic consumers never pay for it.
 """
 
 from __future__ import annotations
@@ -33,6 +43,37 @@ import numpy as np
 
 from repro.errors import DecodingError
 from repro.phy.chirp import ChirpParams, downchirp
+
+#: Magnitude of ``sin(pi*u/N)`` below which the Dirichlet ratio switches
+#: to its L'Hopital form ``N*cos(pi*u)/cos(pi*u/N)``. Both branches are
+#: accurate to ~1e-7 relative at the crossover, so decisions cannot
+#: depend on which side of the threshold an offset lands.
+_DIRICHLET_SINGULAR_TOL = 1e-6
+
+
+def dirichlet_kernel(n_samples: int, offsets: np.ndarray) -> np.ndarray:
+    """Closed-form readout of a unit tone: ``sum_{t<N} exp(2j*pi*u*t/N)``.
+
+    ``offsets`` is the (possibly fractional) bin distance ``u`` between
+    the tone and the evaluated frequency, in *natural* bins. The sum has
+    the closed form
+
+        ``D_N(u) = exp(j*pi*u*(N-1)/N) * sin(pi*u) / sin(pi*u/N)``
+
+    with the removable singularities at ``u = 0 (mod N)`` — where the
+    value is exactly ``N`` — filled via L'Hopital. ``D_N`` is periodic
+    in ``u`` with period ``N`` and satisfies ``D_N(-u) = conj(D_N(u))``.
+    """
+    n = int(n_samples)
+    if n < 1:
+        raise DecodingError("n_samples must be >= 1")
+    u = np.asarray(offsets, dtype=float)
+    phase = np.exp(1j * (np.pi * (n - 1) / n) * u)
+    den = np.sin(np.pi * u / n)
+    near = np.abs(den) < _DIRICHLET_SINGULAR_TOL
+    ratio = np.sin(np.pi * u) / np.where(near, 1.0, den)
+    limit = n * np.cos(np.pi * u) / np.cos(np.pi * u / n)
+    return phase * np.where(near, limit, ratio)
 
 
 class SparseReadout:
@@ -74,13 +115,31 @@ class SparseReadout:
         self._params = params
         self._zero_pad_factor = int(zero_pad_factor)
         self._bin_indices = bin_indices
-        t = np.arange(n, dtype=float)
-        op = np.exp(
-            (-2j * np.pi / n_grid) * np.outer(t, bin_indices.astype(float))
-        )
-        if fold_downchirp:
-            op *= downchirp(params)[:, None]
-        self._op = op
+        self._fold_downchirp = bool(fold_downchirp)
+        self._op: Optional[np.ndarray] = None
+        self._bin_trig: Optional[tuple] = None
+
+    @property
+    def _operator(self) -> np.ndarray:
+        """The ``(N, K)`` readout matrix, built on first time-domain use.
+
+        Purely analytic consumers (:meth:`tone_kernel`) never touch it,
+        so receivers on the analytic composition path skip the
+        ``N * K`` complex-exponential build entirely.
+        """
+        if self._op is None:
+            params = self._params
+            n = params.n_samples
+            n_grid = n * self._zero_pad_factor
+            t = np.arange(n, dtype=float)
+            op = np.exp(
+                (-2j * np.pi / n_grid)
+                * np.outer(t, self._bin_indices.astype(float))
+            )
+            if self._fold_downchirp:
+                op *= downchirp(params)[:, None]
+            self._op = op
+        return self._op
 
     @property
     def params(self) -> ChirpParams:
@@ -102,8 +161,12 @@ class SparseReadout:
 
     @property
     def operator_bytes(self) -> int:
-        """Memory footprint of the precomputed operator."""
-        return self._op.nbytes
+        """Memory footprint of the (N, K) operator, built or not.
+
+        Computed from the shape so that introspection never forces the
+        lazy operator to materialise on analytic-path receivers.
+        """
+        return 16 * self._params.n_samples * self._bin_indices.size
 
     def spectrum(self, symbols: np.ndarray) -> np.ndarray:
         """Complex spectrum values at the readout bins.
@@ -116,7 +179,7 @@ class SparseReadout:
             raise DecodingError(
                 f"expected {n} samples per symbol, got {symbols.shape[-1]}"
             )
-        return symbols @ self._op
+        return symbols @ self._operator
 
     def powers(self, symbols: np.ndarray) -> np.ndarray:
         """Power spectrum values at the readout bins."""
@@ -132,9 +195,123 @@ class SparseReadout:
         it is unit-modulus). Scaling by the physical noise power gives
         the exact distribution of the noise at the read bins, which lets
         the decode engine draw noise *after* the readout instead of over
-        the full time-domain tensor.
+        the full time-domain tensor. Entry ``[k, j]`` has the closed form
+        ``D_N((q_j - q_k) / zp)`` (see :func:`dirichlet_kernel`), which
+        :func:`analytic_noise_covariance` evaluates without the operator.
         """
-        return self._op.T @ np.conjugate(self._op)
+        return self._operator.T @ np.conjugate(self._operator)
+
+    def analytic_noise_covariance(self) -> np.ndarray:
+        """Closed-form :meth:`noise_covariance`, operator-free.
+
+        Bit-for-bit independent of ``fold_downchirp`` (the unit-modulus
+        fold cancels only up to round-off in the matmul form), so noise
+        drawn from this covariance is identical across the pre-dechirp
+        and dechirped-domain readout plans.
+        """
+        q = self._bin_indices.astype(float)
+        return dirichlet_kernel(
+            self._params.n_samples,
+            (q[None, :] - q[:, None]) / self._zero_pad_factor,
+        )
+
+    @property
+    def tone_phase_coeff(self) -> float:
+        """Coefficient of the separable Dirichlet phase, ``pi*(N-1)/N``.
+
+        ``D_N(b - q/zp) = exp(1j*c*b) * exp(-1j*c*q/zp) * tone_ratio``
+        with ``c`` this coefficient: the complex part of the kernel is
+        rank one over the ``(tones, bins)`` grid, so composition paths
+        fold ``exp(1j*c*b)`` into the per-device weights and
+        ``exp(-1j*c*q/zp)`` into a final per-bin scale — the big matmul
+        then runs on the *real* ratio matrix.
+        """
+        n = self._params.n_samples
+        return np.pi * (n - 1) / n
+
+    def bin_phase_factor(self) -> np.ndarray:
+        """Per-readout-bin Dirichlet phase, ``exp(-1j*c*q/zp)``."""
+        return self._trig_tables()[0]
+
+    def _trig_tables(self) -> tuple:
+        """Cached per-bin phase and sin/cos tables of the tone kernel."""
+        if self._bin_trig is None:
+            n = self._params.n_samples
+            qp = self._bin_indices / float(self._zero_pad_factor)
+            self._bin_trig = (
+                np.exp(-1j * self.tone_phase_coeff * qp),
+                np.sin(np.pi * qp),
+                np.cos(np.pi * qp),
+                np.sin(np.pi * qp / n),
+                np.cos(np.pi * qp / n),
+            )
+        return self._bin_trig
+
+    def tone_ratio(
+        self, effective_bins: np.ndarray, dtype=np.float64
+    ) -> np.ndarray:
+        """Real part-ratio of the tone kernel, ``sin(pi*u)/sin(pi*u/N)``.
+
+        ``effective_bins`` is ``(..., n_tones)``; the result is the real
+        ``(..., n_tones, K)`` matrix such that multiplying by the
+        separable phases (:attr:`tone_phase_coeff`) yields
+        :meth:`tone_kernel`. Evaluated via angle-difference identities —
+        per-bin trigonometry is cached, per-tone trigonometry is linear
+        in the inputs, and the ``(n_tones, K)`` grid sees only in-place
+        multiply/subtract/divide passes (no transcendentals), which is
+        what makes per-round kernel builds cheaper than even one
+        time-domain readout matmul. ``dtype=numpy.float32`` stores the
+        result single-precision for the downstream real GEMMs; the
+        evaluation itself stays double — the denominator
+        ``sin(pi*u/N)`` suffers catastrophic cancellation in float32
+        for tones that graze a readout bin, which would corrupt
+        main-lobe values just outside the singular-limit branch.
+        """
+        b = np.asarray(effective_bins, dtype=float)
+        n = self._params.n_samples
+        _, sq, cq, sqn, cqn = self._trig_tables()
+        sb, cb = np.sin(np.pi * b), np.cos(np.pi * b)
+        sbn, cbn = np.sin(np.pi * b / n), np.cos(np.pi * b / n)
+        dtype = np.dtype(dtype)
+        # sin(pi*(b - q)) and sin(pi*(b - q)/N) as outer products, built
+        # with in-place passes: the grid is large and bandwidth-bound.
+        ratio = sb[..., None] * cq
+        ratio -= cb[..., None] * sq
+        den = sbn[..., None] * cqn
+        den -= cbn[..., None] * sqn
+        near = np.abs(den) < _DIRICHLET_SINGULAR_TOL
+        den[near] = 1.0
+        ratio /= den
+        if np.any(near):
+            # L'Hopital limit N*cos(pi*u)/cos(pi*u/N) at u ~ 0 (mod N),
+            # assembled from the same per-axis trig at just those entries.
+            idx = np.nonzero(near)
+            bi, qi = idx[:-1], idx[-1]
+            cos_u = cb[bi] * cq[qi] + sb[bi] * sq[qi]
+            cos_un = cbn[bi] * cqn[qi] + sbn[bi] * sqn[qi]
+            ratio[idx] = n * cos_u / cos_un
+        if dtype != np.float64:
+            ratio = ratio.astype(dtype)
+        return ratio
+
+    def tone_kernel(self, effective_bins: np.ndarray) -> np.ndarray:
+        """Closed-form readout of unit tones at fractional natural bins.
+
+        ``effective_bins`` is ``(..., n_tones)``; the result is
+        ``(..., n_tones, K)`` with entry ``D_N(b - q_k / zp)`` — the
+        value the padded FFT of the dechirped unit tone at fractional
+        bin ``b`` takes at readout bin ``q_k``. A weighted sum of rows
+        therefore reproduces :meth:`spectrum` of a composed tone-sum
+        symbol to round-off, with no waveform in between.
+
+        Hot paths (:func:`repro.core.dcss.compose_readout`) use the
+        factored :meth:`tone_ratio` form directly and never materialise
+        this complex matrix; it is the reference/unit-test surface.
+        """
+        b = np.asarray(effective_bins, dtype=float)
+        ratio = self.tone_ratio(b)
+        phase_b = np.exp(1j * self.tone_phase_coeff * b)
+        return (phase_b[..., None] * self.bin_phase_factor()) * ratio
 
 
 def full_fft_values(

@@ -11,7 +11,12 @@ produce the paper's Figs. 17-19.
 from repro.protocol.ap import AccessPoint
 from repro.protocol.association import AssociationController
 from repro.protocol.messages import QueryMessage, AssociationResponse
-from repro.protocol.network import NetworkSimulator, RoundResult
+from repro.protocol.network import (
+    NetworkSimulator,
+    NetworkMetrics,
+    RoundResult,
+    sweep_device_counts,
+)
 
 __all__ = [
     "AccessPoint",
@@ -19,5 +24,7 @@ __all__ = [
     "QueryMessage",
     "AssociationResponse",
     "NetworkSimulator",
+    "NetworkMetrics",
     "RoundResult",
+    "sweep_device_counts",
 ]

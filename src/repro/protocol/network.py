@@ -5,28 +5,45 @@ deployment's devices, run query/response rounds with the fast PHY path
 (tones with per-packet jitter/CFO, AWGN), decode with the single-FFT
 receiver, and account air time — producing the network PHY rate,
 link-layer rate and latency series of Figs. 17-19.
+
+Two PHY engines are available per simulator:
+
+* ``"analytic"`` (default) — every round is a tone sum, so the whole
+  compose -> dechirp -> readout chain is evaluated in closed form at
+  the receiver's readout bins (:meth:`NetScatterReceiver.decode_readout`)
+  with exact readout-domain AWGN; no waveform tensor is materialised
+  and the sparse-readout operator is never built.
+* ``"time"`` — the reference path: :func:`compose_rounds` waveform
+  tensors, time-domain AWGN, batched sparse readout. Decisions match
+  the analytic engine bit for bit on noiseless inputs (the equivalence
+  suite pins this); under noise the two draw statistically identical
+  AWGN through different mechanisms.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.analysis.airtime import netscatter_round_airtime_s
+from repro.analysis.airtime import RoundAirtime, netscatter_round_airtime_s
 from repro.channel.awgn import awgn_rounds
 from repro.channel.deployment import Deployment
 from repro.constants import PAYLOAD_CRC_BITS, QUERY_BITS_CONFIG1
 from repro.core.allocation import power_aware_allocation
 from repro.core.config import NetScatterConfig
 from repro.core.dcss import compose_rounds
-from repro.core.receiver import NetScatterReceiver
+from repro.core.receiver import NetScatterReceiver, RoundsDecode
 from repro.errors import ConfigurationError
 from repro.hardware.mcu import McuTimingModel
-from repro.hardware.oscillator import tag_oscillator
+from repro.hardware.oscillator import calibrate_population, tag_oscillator
 from repro.phy.packet import PacketStructure
 from repro.utils.rng import RngLike, child_rng, make_rng
+
+#: Engine names accepted by :class:`NetworkSimulator` and the sweeps.
+ENGINES = ("analytic", "time")
 
 
 @dataclass
@@ -34,7 +51,7 @@ class RoundResult:
     """Outcome of one concurrent round."""
 
     n_devices: int
-    airtime: object
+    airtime: RoundAirtime
     sent_bits: Dict[int, List[int]] = field(default_factory=dict)
     received_bits: Dict[int, List[int]] = field(default_factory=dict)
     detected: Dict[int, bool] = field(default_factory=dict)
@@ -81,7 +98,13 @@ class RoundResult:
 
 @dataclass
 class NetworkMetrics:
-    """Aggregated metrics over several rounds (one sweep point)."""
+    """Aggregated metrics over several rounds (one sweep point).
+
+    ``goodput_bits_per_round`` is the raw per-round correct-bit count the
+    rates derive from; drivers that account the same decode under several
+    query costs (Fig. 18's config 1 vs 2) reuse it instead of re-running
+    the PHY.
+    """
 
     n_devices: int
     phy_rate_bps: float
@@ -89,10 +112,24 @@ class NetworkMetrics:
     latency_s: float
     delivery_ratio: float
     bit_error_rate: float
+    goodput_bits_per_round: float = 0.0
 
 
 class NetworkSimulator:
-    """Round-based NetScatter network simulation over a deployment."""
+    """Round-based NetScatter network simulation over a deployment.
+
+    Parameters
+    ----------
+    engine:
+        ``"analytic"`` (default) decodes every round through the
+        waveform-free Dirichlet-kernel path with readout-domain AWGN;
+        ``"time"`` composes full time-domain tensors and adds AWGN over
+        them (the reference path).
+    readout_dtype:
+        Optional complex dtype of the analytic readout matmuls —
+        ``numpy.complex64`` halves kernel cost/memory for very large
+        device counts. ``None`` keeps full double precision.
+    """
 
     def __init__(
         self,
@@ -103,7 +140,13 @@ class NetworkSimulator:
         reference_snr_scale_db: float = 0.0,
         power_control: bool = True,
         rng: RngLike = None,
+        engine: str = "analytic",
+        readout_dtype=None,
     ) -> None:
+        if engine not in ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINES}, got {engine!r}"
+            )
         if config is None:
             # The deployment experiments run all 256 devices concurrently;
             # association shifts are not reserved during the data phase.
@@ -121,15 +164,14 @@ class NetworkSimulator:
         self._scale_db = float(reference_snr_scale_db)
         self._power_control = bool(power_control)
         self._rng = make_rng(rng)
+        self._engine = engine
+        self._readout_dtype = readout_dtype
         self._structure = PacketStructure(payload_bits=self._payload_bits)
 
         # Per-device impairment models (fixed per device, drawn per packet).
         self._timing = McuTimingModel()
-        self._oscillators = []
-        for index, _ in enumerate(deployment.devices):
-            osc = tag_oscillator()
-            osc.calibrate(child_rng(self._rng, index))
-            self._oscillators.append(osc)
+        self._oscillators = [tag_oscillator() for _ in deployment.devices]
+        calibrate_population(self._oscillators, self._rng)
 
         snrs = [d.uplink_snr_db + self._scale_db for d in deployment.devices]
         self._base_snrs = snrs
@@ -137,7 +179,11 @@ class NetworkSimulator:
         self._assignments = power_aware_allocation(
             [s + g for s, g in zip(snrs, self._gains_db)], config
         )
-        self._receiver = NetScatterReceiver(config, self._assignments)
+        self._receiver = NetScatterReceiver(
+            config,
+            self._assignments,
+            readout="analytic" if engine == "analytic" else "sparse",
+        )
 
     @property
     def config(self) -> NetScatterConfig:
@@ -185,9 +231,9 @@ class NetworkSimulator:
     def _draw_round_inputs(self, fading: bool):
         """Draw one round's composition inputs (bins, amps, phases, bits).
 
-        Kept sequential because the fading processes are Markov state
-        stepped round by round; everything downstream of the draws is
-        batched across rounds.
+        Only the fading path still uses this per-round form: the fading
+        processes are Markov state stepped round by round. Static-channel
+        batches draw everything at once in :meth:`_draw_batch_inputs`.
         """
         effective = self.effective_snrs_db()
         if fading:
@@ -225,20 +271,77 @@ class NetworkSimulator:
         )
         return effective_bins, amplitudes, phases, payload_bits, floor_snr
 
-    def _run_batch(self, n_rounds: int, fading: bool):
+    def _draw_batch_inputs(self, n_rounds: int, fading: bool):
+        """Draw a whole batch's composition inputs in vectorised form.
+
+        Returns ``(bins, amplitudes, phases, payload, floors)`` with
+        round-major shapes. Static channels draw jitter/CFO/phases/bits
+        as single ``(rounds, devices)`` batches; fading channels fall
+        back to the per-round Markov draw and stack.
+        """
+        if fading:
+            draws = [self._draw_round_inputs(True) for _ in range(n_rounds)]
+            return (
+                np.stack([d[0] for d in draws]),
+                np.stack([d[1] for d in draws]),
+                np.stack([d[2] for d in draws]),
+                np.stack([d[3] for d in draws]),
+                np.array([d[4] for d in draws]),
+            )
+        effective = np.asarray(self.effective_snrs_db())
+        floor_snr = float(effective.min())
+        rel_gains_db = effective - floor_snr
+
+        n_devices = self._deployment.n_devices
+        params = self._params
+        delays = self._timing.sample_latencies_s(
+            (n_rounds, n_devices), self._rng
+        )
+        delays = delays - delays.mean(axis=1, keepdims=True)
+        cut_ppm = np.array([o.cut_error_ppm for o in self._oscillators])
+        drift_ppm = self._rng.standard_normal(
+            (n_rounds, n_devices)
+        ) * np.array([o.drift_ppm_std for o in self._oscillators])
+        nominal_hz = np.array(
+            [o.nominal_freq_hz for o in self._oscillators]
+        )
+        cfos = (cut_ppm[None, :] + drift_ppm) * 1e-6 * nominal_hz[None, :]
+        shifts = np.array(
+            [self._assignments[i] for i in range(n_devices)], dtype=float
+        )
+        bins = (
+            shifts[None, :]
+            - delays * params.bandwidth_hz
+            + cfos * params.n_samples / params.bandwidth_hz
+        )
+        amplitudes = np.broadcast_to(
+            10.0 ** (rel_gains_db / 20.0), (n_rounds, n_devices)
+        )
+        phases = self._rng.uniform(
+            0.0, 2.0 * np.pi, size=(n_rounds, n_devices)
+        )
+        payload = self._rng.integers(
+            0, 2, size=(n_rounds, self._payload_bits, n_devices)
+        )
+        floors = np.full(n_rounds, floor_snr)
+        return bins, amplitudes, phases, payload, floors
+
+    def _run_batch(
+        self, n_rounds: int, fading: bool
+    ) -> Tuple[RoundsDecode, np.ndarray, np.ndarray]:
         """Compose, noise-load and decode ``n_rounds`` in one batch.
 
         Returns ``(decode, payload_tensor, floor_snrs)`` where ``decode``
         is the engine's :class:`RoundsDecode` and ``payload_tensor`` is
-        ``(n_rounds, payload_bits, n_devices)``.
+        ``(n_rounds, payload_bits, n_devices)``. The ``"analytic"``
+        engine never materialises a waveform: the tone parameters go
+        straight to :meth:`NetScatterReceiver.decode_readout` with the
+        channel AWGN injected at the readout bins; the ``"time"`` engine
+        composes the full tensor and adds time-domain noise.
         """
-        draws = [self._draw_round_inputs(fading) for _ in range(n_rounds)]
-        bins = np.stack([d[0] for d in draws])
-        amplitudes = np.stack([d[1] for d in draws])
-        phases = np.stack([d[2] for d in draws])
-        payload = np.stack([d[3] for d in draws])
-        floors = np.array([d[4] for d in draws])
-
+        bins, amplitudes, phases, payload, floors = self._draw_batch_inputs(
+            n_rounds, fading
+        )
         n_devices = self._deployment.n_devices
         n_preamble = self._structure.n_preamble_upchirps
         bit_tensor = np.ones(
@@ -246,13 +349,25 @@ class NetworkSimulator:
         )
         bit_tensor[:, n_preamble:] = payload
 
-        symbols = compose_rounds(
-            self._params, bins, amplitudes, phases, bit_tensor
-        )
-        noisy = awgn_rounds(symbols, floors, self._rng)
-        decode = self._receiver.decode_rounds(
-            noisy, n_preamble_upchirps=n_preamble
-        )
+        if self._engine == "analytic":
+            decode = self._receiver.decode_readout(
+                bins,
+                amplitudes,
+                phases,
+                bit_tensor,
+                n_preamble_upchirps=n_preamble,
+                noise_snr_db=floors,
+                rng=self._rng,
+                dtype=self._readout_dtype,
+            )
+        else:
+            symbols = compose_rounds(
+                self._params, bins, amplitudes, phases, bit_tensor
+            )
+            noisy = awgn_rounds(symbols, floors, self._rng)
+            decode = self._receiver.decode_rounds(
+                noisy, n_preamble_upchirps=n_preamble
+            )
         return decode, payload, floors
 
     def run_round(self, fading: bool = False) -> RoundResult:
@@ -321,7 +436,31 @@ class NetworkSimulator:
             latency_s=airtime.total_s,
             delivery_ratio=delivery,
             bit_error_rate=ber,
+            goodput_bits_per_round=goodput_bits_per_round,
         )
+
+
+def _run_sweep_point(args: tuple) -> NetworkMetrics:
+    """One sweep point, module-level so process pools can pickle it."""
+    (
+        deployment,
+        config,
+        count,
+        n_rounds,
+        query_bits,
+        point_rng,
+        engine,
+        readout_dtype,
+    ) = args
+    sim = NetworkSimulator(
+        deployment.subset(count),
+        config=config,
+        query_bits=query_bits,
+        rng=point_rng,
+        engine=engine,
+        readout_dtype=readout_dtype,
+    )
+    return sim.run_rounds(n_rounds)
 
 
 def sweep_device_counts(
@@ -331,16 +470,59 @@ def sweep_device_counts(
     n_rounds: int = 3,
     query_bits: int = QUERY_BITS_CONFIG1,
     rng: RngLike = None,
+    engine: str = "analytic",
+    workers: Optional[int] = None,
+    float32_min_devices: Optional[int] = None,
 ) -> List[NetworkMetrics]:
-    """Fig. 17-19 sweep: metrics at each device count."""
-    generator = make_rng(rng)
-    metrics = []
-    for count in device_counts:
-        sim = NetworkSimulator(
-            deployment.subset(count),
-            config=config,
-            query_bits=query_bits,
-            rng=child_rng(generator, count),
+    """Fig. 17-19 sweep: metrics at each device count.
+
+    All sweep points run through the selected PHY engine — by default
+    the analytic Dirichlet-kernel path, under which the points share
+    the cached natural-grid probe readout (and its per-bin kernel
+    trigonometry) and never build time-domain operators. Per-point
+    generators are derived up front from ``rng`` so results are
+    independent of execution order.
+
+    Parameters
+    ----------
+    workers:
+        When > 1, run sweep points in an opt-in process pool — intended
+        for the remaining *time-domain* experiments whose per-point cost
+        is dominated by tensor composition. Results are identical to the
+        serial run (each point owns a pre-derived child generator).
+    float32_min_devices:
+        When set, points with at least that many devices use
+        ``numpy.complex64`` analytic operators (e.g. ``256`` to halve
+        the cost of the largest Fig. 17 points). Ignored by the
+        time-domain engine.
+    """
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"engine must be one of {ENGINES}, got {engine!r}"
         )
-        metrics.append(sim.run_rounds(n_rounds))
-    return metrics
+    generator = make_rng(rng)
+    jobs = []
+    for count in device_counts:
+        dtype = None
+        if (
+            engine == "analytic"
+            and float32_min_devices is not None
+            and count >= int(float32_min_devices)
+        ):
+            dtype = np.complex64
+        jobs.append(
+            (
+                deployment,
+                config,
+                count,
+                n_rounds,
+                query_bits,
+                child_rng(generator, count),
+                engine,
+                dtype,
+            )
+        )
+    if workers is not None and int(workers) > 1:
+        with ProcessPoolExecutor(max_workers=int(workers)) as pool:
+            return list(pool.map(_run_sweep_point, jobs))
+    return [_run_sweep_point(job) for job in jobs]

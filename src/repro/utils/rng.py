@@ -44,7 +44,9 @@ def spawn_rngs(seed: RngLike, count: int) -> list:
     return [child_rng(base, i) for i in range(count)]
 
 
-def standard_complex_normal(rng: RngLike, shape) -> np.ndarray:
+def standard_complex_normal(
+    rng: RngLike, shape, dtype=np.float64
+) -> np.ndarray:
     """iid circular CN(0, 1) draws of the given shape.
 
     One interleaved real Gaussian call re-viewed as complex — identical
@@ -52,11 +54,20 @@ def standard_complex_normal(rng: RngLike, shape) -> np.ndarray:
     overhead. Each component has unit *complex* variance (real and
     imaginary parts each carry 1/2), so callers scale by the square
     root of the desired complex noise power.
+
+    ``dtype`` is the *real* component dtype: ``numpy.float32`` yields
+    ``complex64`` draws at roughly twice the generation rate (used by
+    the single-precision analytic readout path; note the float32
+    generator consumes a different stream than the float64 one).
     """
     generator = make_rng(rng)
     shape = tuple(shape)
-    draws = generator.standard_normal(shape + (2,))
-    return draws.view(complex).reshape(shape) * np.sqrt(0.5)
+    dtype = np.dtype(dtype)
+    draws = generator.standard_normal(shape + (2,), dtype=dtype)
+    complex_dtype = np.complex64 if dtype == np.float32 else complex
+    return draws.view(complex_dtype).reshape(shape) * dtype.type(
+        np.sqrt(0.5)
+    )
 
 
 def optional_seed(seed: RngLike) -> Optional[int]:

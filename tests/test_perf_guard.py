@@ -1,0 +1,52 @@
+"""Tier-1 wall-clock guard for the analytic network fast path.
+
+A coarse budget assertion (not a benchmark): the quick Fig. 17 sweep
+must stay well under a generous wall-clock ceiling, so a future change
+that silently re-materialises waveforms, rebuilds operators per round
+or otherwise regresses the analytic engine fails loudly here instead of
+slowly rotting the benchmark suite.
+
+Skippable on constrained or heavily-shared machines::
+
+    REPRO_SKIP_PERF_GUARD=1 python -m pytest tests/test_perf_guard.py
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.channel.deployment import paper_deployment
+from repro.core.config import NetScatterConfig
+from repro.protocol.network import sweep_device_counts
+
+#: Generous ceiling (seconds) for the quick sweep below. The analytic
+#: engine runs it in well under a second on a single modest core; the
+#: pre-engine time-domain path took several times longer.
+BUDGET_S = 6.0
+
+skip_guard = pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_PERF_GUARD") == "1",
+    reason="perf guard disabled via REPRO_SKIP_PERF_GUARD=1",
+)
+
+
+@skip_guard
+def test_fig17_quick_sweep_within_budget():
+    deployment = paper_deployment(n_devices=128, rng=2026)
+    config = NetScatterConfig(n_association_shifts=0)
+    start = time.perf_counter()
+    metrics = sweep_device_counts(
+        deployment,
+        (1, 16, 64, 128),
+        config=config,
+        n_rounds=3,
+        rng=17,
+        engine="analytic",
+    )
+    elapsed = time.perf_counter() - start
+    assert [m.n_devices for m in metrics] == [1, 16, 64, 128]
+    assert elapsed < BUDGET_S, (
+        f"analytic fig17 quick sweep took {elapsed:.2f}s "
+        f"(budget {BUDGET_S}s) — the fast path has regressed"
+    )

@@ -143,3 +143,53 @@ class TestSweep:
         assert [m.n_devices for m in metrics] == [4, 16, 32]
         rates = [m.phy_rate_bps for m in metrics]
         assert rates[0] < rates[1] < rates[2]
+
+    def test_invalid_engine_rejected(self):
+        deployment = paper_deployment(n_devices=4, rng=3)
+        with pytest.raises(ConfigurationError):
+            NetworkSimulator(deployment, engine="fft")
+        with pytest.raises(ConfigurationError):
+            sweep_device_counts(deployment, (2,), engine="waveform")
+
+    def test_engines_agree_on_clean_networks(self):
+        """Both engines deliver perfectly on an easy deployment."""
+        deployment = paper_deployment(n_devices=8, rng=3)
+        for engine in ("analytic", "time"):
+            sim = NetworkSimulator(deployment, rng=4, engine=engine)
+            metrics = sim.run_rounds(3)
+            assert metrics.delivery_ratio == pytest.approx(1.0)
+            assert metrics.goodput_bits_per_round == pytest.approx(
+                8 * 40
+            )
+
+    def test_airtime_is_typed(self):
+        deployment = paper_deployment(n_devices=4, rng=3)
+        result = NetworkSimulator(deployment, rng=4).run_round()
+        from repro.analysis.airtime import RoundAirtime
+
+        assert isinstance(result.airtime, RoundAirtime)
+        assert result.airtime.total_s > 0
+
+    def test_float32_threshold_applies_to_large_points(self):
+        deployment = paper_deployment(n_devices=32, rng=3)
+        metrics = sweep_device_counts(
+            deployment,
+            (8, 32),
+            n_rounds=1,
+            rng=5,
+            float32_min_devices=16,
+        )
+        assert [m.n_devices for m in metrics] == [8, 32]
+        assert all(m.delivery_ratio > 0.9 for m in metrics)
+
+    def test_worker_pool_matches_serial(self):
+        """Process-pool sweeps reproduce the serial results exactly."""
+        deployment = paper_deployment(n_devices=16, rng=3)
+        serial = sweep_device_counts(
+            deployment, (4, 8, 16), n_rounds=2, rng=6
+        )
+        pooled = sweep_device_counts(
+            deployment, (4, 8, 16), n_rounds=2, rng=6, workers=2
+        )
+        for a, b in zip(serial, pooled):
+            assert a == b
