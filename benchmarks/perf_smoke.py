@@ -10,13 +10,28 @@ wall-clock:
 * Fig. 17 network sweep: ``time_engine`` (compose_rounds waveform
   tensors + time-domain AWGN + sparse readout) vs ``analytic`` (the
   waveform-free Dirichlet-kernel engine) vs ``analytic_float32``
-  (complex64 operators for the largest points);
+  (complex64 operators for the largest points) vs ``auto`` (the
+  occupancy-adaptive backend planner, per-point backends recorded);
+* the Fig. 17 sweep's 256-device point alone, ``auto`` vs ``analytic``
+  (the planner's headline crossover win at ``D = N/2``);
+* fading rounds at 100 rounds x 64 devices: the batched AR(1)-track
+  path vs the in-tree ``fading_mode="per_round"`` execution vs a
+  seed-style reconstruction (per-round Python loop, full-FFT readout,
+  time-domain AWGN, per-device Python scoring — the same baseline
+  styling as ``fig12.per_round_fft``);
 * the Fig. 17/18/19 figure drivers end to end, and the vectorised
   Section 2.2 Monte-Carlo block.
 
 Run from the repo root::
 
-    PYTHONPATH=src python benchmarks/perf_smoke.py
+    PYTHONPATH=src python benchmarks/perf_smoke.py          # full
+    PYTHONPATH=src python benchmarks/perf_smoke.py --quick  # sub-10 s
+
+``--quick`` times only the occupancy-adaptive headline comparisons
+(fig17 256-point + fading) at reduced sizes — the mode
+``tests/test_perf_guard.py`` exercises against a temporary output file.
+``--output PATH`` redirects the report (defaults to the repo's
+``BENCH_fastpath.json``).
 
 ``BENCH_fastpath.json`` is *append-only*: each invocation adds one run
 entry under ``runs``, so the perf trajectory accumulates across PRs
@@ -27,6 +42,7 @@ run are the signal.
 
 from __future__ import annotations
 
+import argparse
 import json
 import platform
 import time
@@ -47,7 +63,7 @@ from repro.experiments import (
     fig19_latency,
     sec22_analytics,
 )
-from repro.protocol.network import sweep_device_counts
+from repro.protocol.network import NetworkSimulator, sweep_device_counts
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_fastpath.json"
@@ -61,6 +77,9 @@ N_PREAMBLE = 6
 
 FIG17_COUNTS = (1, 16, 32, 64, 96, 128, 160, 192, 224, 256)
 FIG17_ROUNDS = 3
+
+FADING_ROUNDS = 100
+FADING_DEVICES = 64
 
 
 def _legacy_ber_point(config, snr_db, power_delta_db, n_symbols, rng):
@@ -150,13 +169,15 @@ def _time_fig15_batched() -> dict:
     }
 
 
-def _time_fig17_sweep(engine: str, float32_min_devices=None) -> dict:
-    deployment = paper_deployment(n_devices=256, rng=2026)
+def _time_fig17_sweep(
+    engine: str, float32_min_devices=None, counts=FIG17_COUNTS
+) -> dict:
+    deployment = paper_deployment(n_devices=max(counts), rng=2026)
     config = NetScatterConfig(n_association_shifts=0)
     start = time.perf_counter()
     metrics = sweep_device_counts(
         deployment,
-        FIG17_COUNTS,
+        counts,
         config=config,
         n_rounds=FIG17_ROUNDS,
         rng=17,
@@ -166,10 +187,141 @@ def _time_fig17_sweep(engine: str, float32_min_devices=None) -> dict:
     elapsed = time.perf_counter() - start
     return {
         "wall_clock_s": round(elapsed, 3),
-        "sweep_points": len(FIG17_COUNTS),
+        "sweep_points": len(counts),
         "n_rounds": FIG17_ROUNDS,
-        "phy_rate_kbps_at_256": round(metrics[-1].phy_rate_bps / 1e3, 1),
+        "phy_rate_kbps_at_max": round(metrics[-1].phy_rate_bps / 1e3, 1),
+        # The spectral backend each point actually decoded with — makes
+        # the adaptive engine's crossover visible in the record.
+        "backends": [m.backend for m in metrics],
     }
+
+
+def _time_fig17_point256(engine: str, n_devices: int = 256) -> dict:
+    """The sweep's largest point alone (the D = N/2 crossover regime)."""
+    deployment = paper_deployment(n_devices=n_devices, rng=2026)
+    config = NetScatterConfig(n_association_shifts=0)
+    best, metrics = float("inf"), None
+    for _ in range(3):
+        start = time.perf_counter()
+        metrics = sweep_device_counts(
+            deployment,
+            (n_devices,),
+            config=config,
+            n_rounds=FIG17_ROUNDS,
+            rng=17,
+            engine=engine,
+        )
+        best = min(best, time.perf_counter() - start)
+    return {
+        "wall_clock_s": round(best, 4),
+        "n_devices": n_devices,
+        "n_rounds": FIG17_ROUNDS,
+        "backend": metrics[0].backend,
+    }
+
+
+def _seed_style_fading_rounds(sim, legacy_receiver, n_rounds: int):
+    """Seed-style fading loop: the pre-batching implementation's profile.
+
+    Per round: per-device Python draws (fading step, MCU latency,
+    oscillator CFO), one waveform composition, time-domain AWGN over
+    the frame, a full-FFT single-round decode, and per-device Python
+    bit scoring — the same baseline styling as :func:`_legacy_ber_point`
+    reconstructs for Fig. 12.
+    """
+    params = sim._params
+    n_devices = sim._deployment.n_devices
+    n_pre = sim._structure.n_preamble_upchirps
+    total_correct = total_sent = delivered = 0
+    for _ in range(n_rounds):
+        effective = sim.effective_snrs_db()
+        effective = [
+            e + dev.step_channel(0.06, sim._rng) - dev.uplink_snr_db
+            for e, dev in zip(effective, sim._deployment.devices)
+        ]
+        floor = min(effective)
+        rel = np.asarray(effective) - floor
+        delays = np.array(
+            [sim._timing.sample_latency_s(sim._rng) for _ in range(n_devices)]
+        )
+        delays -= delays.mean()
+        cfos = np.array([o.offset_hz(sim._rng) for o in sim._oscillators])
+        bins = (
+            np.array(
+                [sim._assignments[i] for i in range(n_devices)], dtype=float
+            )
+            - delays * params.bandwidth_hz
+            + cfos * params.n_samples / params.bandwidth_hz
+        )
+        amplitudes = 10.0 ** (rel / 20.0)
+        phases = sim._rng.uniform(0.0, 2.0 * np.pi, size=n_devices)
+        bit_matrix = np.ones((n_pre + sim._payload_bits, n_devices))
+        payload = sim._rng.integers(
+            0, 2, size=(sim._payload_bits, n_devices)
+        )
+        bit_matrix[n_pre:] = payload
+        symbols = compose_round_matrix(
+            params, bins, amplitudes, phases, bit_matrix
+        )
+        decode = legacy_receiver.decode_round_matrix(
+            awgn(symbols, floor, sim._rng), n_preamble_upchirps=n_pre
+        )
+        for index in range(n_devices):
+            sent = payload[:, index].tolist()
+            got = list(decode.devices[index].bits)
+            total_sent += len(sent)
+            total_correct += sum(1 for s, g in zip(sent, got) if s == g)
+            if len(got) == len(sent) and all(
+                s == g for s, g in zip(sent, got)
+            ):
+                delivered += 1
+    return total_correct / max(total_sent, 1)
+
+
+def _time_fading(n_rounds: int = FADING_ROUNDS,
+                 n_devices: int = FADING_DEVICES) -> dict:
+    """Fading rounds: batched AR(1) tracks vs the per-round executions."""
+    config = NetScatterConfig(n_association_shifts=0)
+    report: dict = {"n_rounds": n_rounds, "n_devices": n_devices}
+
+    deployment = paper_deployment(n_devices=n_devices, rng=2026)
+    sim = NetworkSimulator(
+        deployment, config=config, rng=5, engine="time"
+    )
+    legacy_receiver = NetScatterReceiver(
+        config, sim.assignments, readout="fft"
+    )
+    start = time.perf_counter()
+    _seed_style_fading_rounds(sim, legacy_receiver, n_rounds)
+    report["per_round_fft_legacy"] = {
+        "wall_clock_s": round(time.perf_counter() - start, 3)
+    }
+
+    for label, kwargs in (
+        ("per_round_mode", {"engine": "analytic",
+                            "fading_mode": "per_round"}),
+        ("batched_analytic", {"engine": "analytic"}),
+        ("batched_auto", {"engine": "auto"}),
+    ):
+        deployment = paper_deployment(n_devices=n_devices, rng=2026)
+        sim = NetworkSimulator(deployment, config=config, rng=5, **kwargs)
+        start = time.perf_counter()
+        metrics = sim.run_rounds(n_rounds, fading=True)
+        report[label] = {
+            "wall_clock_s": round(time.perf_counter() - start, 3),
+            "backend": metrics.backend,
+        }
+    report["speedup_batched_vs_legacy"] = round(
+        report["per_round_fft_legacy"]["wall_clock_s"]
+        / report["batched_auto"]["wall_clock_s"],
+        2,
+    )
+    report["speedup_batched_vs_per_round_mode"] = round(
+        report["per_round_mode"]["wall_clock_s"]
+        / report["batched_auto"]["wall_clock_s"],
+        2,
+    )
+    return report
 
 
 def _time_callable(fn, **kwargs) -> dict:
@@ -178,7 +330,7 @@ def _time_callable(fn, **kwargs) -> dict:
     return {"wall_clock_s": round(time.perf_counter() - start, 3)}
 
 
-def _load_previous_runs() -> list:
+def _load_previous_runs(output: Path) -> list:
     """Existing run history; a legacy v1 file becomes the first entry.
 
     The file is append-only across PRs, so never silently drop what is
@@ -186,13 +338,13 @@ def _load_previous_runs() -> list:
     the subsequent write clobber the trajectory, and an unrecognised
     schema is preserved verbatim as an opaque entry.
     """
-    if not OUTPUT.exists():
+    if not output.exists():
         return []
     try:
-        data = json.loads(OUTPUT.read_text())
+        data = json.loads(output.read_text())
     except json.JSONDecodeError as error:
         raise SystemExit(
-            f"{OUTPUT} exists but is not valid JSON ({error}); fix or "
+            f"{output} exists but is not valid JSON ({error}); fix or "
             "move it aside before benchmarking — refusing to overwrite "
             "the accumulated perf history"
         )
@@ -213,7 +365,8 @@ def _load_previous_runs() -> list:
     return [{"note": "unrecognised schema, preserved as-is", "data": data}]
 
 
-def main() -> dict:
+def main(quick: bool = False, output=None) -> dict:
+    output = OUTPUT if output is None else Path(output)
     run = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "host": {
@@ -221,52 +374,80 @@ def main() -> dict:
             "python": platform.python_version(),
             "numpy": np.__version__,
         },
-        "fig12": {
+    }
+    if quick:
+        # Sub-10 s subset: the occupancy-adaptive headline comparisons
+        # only, at reduced sizes (used by tests/test_perf_guard.py).
+        run["quick"] = True
+        run["fig17_point256"] = {
+            "analytic": _time_fig17_point256("analytic"),
+            "auto": _time_fig17_point256("auto"),
+        }
+        run["fading"] = _time_fading(n_rounds=30, n_devices=32)
+    else:
+        run["fig12"] = {
             "per_round_fft": _time_fig12_legacy(),
             "batched_sparse": _time_fig12_batched(),
-        },
-        "fig15b": {
-            "batched_sparse": _time_fig15_batched(),
-        },
-        "fig17_sweep": {
+        }
+        run["fig15b"] = {"batched_sparse": _time_fig15_batched()}
+        run["fig17_sweep"] = {
             "time_engine": _time_fig17_sweep("time"),
             "analytic": _time_fig17_sweep("analytic"),
             "analytic_float32": _time_fig17_sweep(
                 "analytic", float32_min_devices=160
             ),
-        },
-        "figure_drivers": {
+            "auto": _time_fig17_sweep("auto"),
+        }
+        run["fig17_point256"] = {
+            "analytic": _time_fig17_point256("analytic"),
+            "auto": _time_fig17_point256("auto"),
+        }
+        run["fading"] = _time_fading()
+        run["figure_drivers"] = {
             "fig17": _time_callable(fig17_phy_rate.run, rng=17),
             "fig18": _time_callable(fig18_linklayer.run, rng=18),
             "fig19": _time_callable(fig19_latency.run, rng=19),
             "sec22": _time_callable(sec22_analytics.run, rng=22),
-        },
-    }
-    fig12 = run["fig12"]
-    fig12["speedup"] = round(
-        fig12["per_round_fft"]["wall_clock_s"]
-        / fig12["batched_sparse"]["wall_clock_s"],
+        }
+        fig12 = run["fig12"]
+        fig12["speedup"] = round(
+            fig12["per_round_fft"]["wall_clock_s"]
+            / fig12["batched_sparse"]["wall_clock_s"],
+            2,
+        )
+        fig17 = run["fig17_sweep"]
+        for variant in ("analytic", "analytic_float32", "auto"):
+            fig17[f"speedup_{variant}"] = round(
+                fig17["time_engine"]["wall_clock_s"]
+                / fig17[variant]["wall_clock_s"],
+                2,
+            )
+    point = run["fig17_point256"]
+    point["speedup_auto"] = round(
+        point["analytic"]["wall_clock_s"] / point["auto"]["wall_clock_s"],
         2,
     )
-    fig17 = run["fig17_sweep"]
-    fig17["speedup_analytic"] = round(
-        fig17["time_engine"]["wall_clock_s"]
-        / fig17["analytic"]["wall_clock_s"],
-        2,
-    )
-    fig17["speedup_analytic_float32"] = round(
-        fig17["time_engine"]["wall_clock_s"]
-        / fig17["analytic_float32"]["wall_clock_s"],
-        2,
-    )
-    runs = _load_previous_runs()
+    runs = _load_previous_runs(output)
     runs.append(run)
     report = {"schema": "bench-fastpath-v2", "runs": runs}
-    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    output.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(run, indent=2))
-    print(f"\nappended run {len(runs)} to {OUTPUT}")
+    print(f"\nappended run {len(runs)} to {output}")
     return report
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="sub-10 s subset: fig17 256-point + reduced fading only",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="report path (default: BENCH_fastpath.json in the repo root)",
+    )
+    args = parser.parse_args()
+    main(quick=args.quick, output=args.output)

@@ -90,6 +90,63 @@ class FadingProcess:
         return out
 
 
+def step_tracks(
+    processes: "list[FadingProcess]",
+    dt_s: float,
+    n_steps: int,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Advance a population of fading tracks ``n_steps`` rounds at once.
+
+    Returns the ``(n_steps, n_processes)`` SNR track (dB) and leaves
+    every process's state advanced to the final step, exactly as if
+    :meth:`FadingProcess.step` had been called once per process per
+    round. The innovation draws consume a shared generator in the same
+    round-major, process-order sequence as that loop (processes whose
+    innovation is degenerate draw nothing, matching ``step``'s gating),
+    so a given seed produces the *identical* track either way — which is
+    what lets the batched network simulator pin same-seed equivalence
+    against the per-round path.
+
+    The AR(1) recursion itself is the only per-step work (one fused
+    multiply-add over the population); all Gaussian draws happen in a
+    single generator call.
+    """
+    if dt_s < 0:
+        raise ReproError("dt_s must be non-negative")
+    if n_steps < 1:
+        raise ReproError("need at least one step")
+    if not processes:
+        raise ReproError("need at least one process")
+    generator = make_rng(rng)
+    n = len(processes)
+    rho = np.array(
+        [np.exp(-dt_s / p.coherence_time_s) for p in processes]
+    )
+    innovation_std = np.array(
+        [p.std_db for p in processes]
+    ) * np.sqrt(np.clip(1.0 - rho**2, 0.0, None))
+    means = np.array([p.mean_snr_db for p in processes])
+    states = np.array([p._state_db for p in processes])
+
+    active = innovation_std > 0
+    noise = np.zeros((n_steps, n))
+    if active.all():
+        noise = generator.standard_normal((n_steps, n)) * innovation_std
+    elif active.any():
+        draws = generator.standard_normal((n_steps, int(active.sum())))
+        noise[:, active] = draws * innovation_std[active]
+
+    track = np.empty((n_steps, n))
+    for i in range(n_steps):
+        states = rho * states + noise[i]
+        track[i] = states
+    track += means
+    for process, state in zip(processes, states):
+        process._state_db = float(state)
+    return track
+
+
 def snr_variance_samples(
     process: FadingProcess,
     duration_s: float,

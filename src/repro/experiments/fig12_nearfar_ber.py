@@ -38,14 +38,16 @@ def _ber_for_point(
     The whole Monte-Carlo point is one batch: every round's bits,
     per-packet CFOs and phases are drawn up front, composed as a
     ``(n_rounds, n_symbols, 2^SF)`` tensor, noise-loaded in one draw and
-    decoded by the sparse-readout engine in one pass.
+    decoded in one pass by whichever spectral backend the calibrated
+    planner predicts cheapest at this occupancy (``readout="auto"`` —
+    two devices out of 256 shifts lands on the sparse matmul).
     """
     params = config.chirp_params
     assignments = {0: WEAK_SHIFT}
     if power_delta_db is not None:
         assignments[1] = STRONG_SHIFT
     receiver = NetScatterReceiver(
-        config, assignments, detection_snr_db=-100.0
+        config, assignments, detection_snr_db=-100.0, readout="auto"
     )
     n_devices = len(assignments)
     n_rounds = -(-n_symbols // frame_payload)

@@ -36,16 +36,21 @@ def run(
     device_counts: Sequence[int] = DEFAULT_DEVICE_COUNTS,
     n_rounds: int = 3,
     rng: RngLike = None,
-    engine: str = "analytic",
+    engine: str = "auto",
     workers: Optional[int] = None,
     float32_min_devices: Optional[int] = None,
 ) -> ExperimentResult:
     """Sweep device counts and tabulate all four schemes' PHY rates.
 
     The NetScatter points run as one cross-point batch through
-    :func:`sweep_device_counts` (analytic Dirichlet-kernel engine by
-    default; pass ``engine="time"`` with ``workers=`` for the reference
-    time-domain path in a process pool).
+    :func:`sweep_device_counts` under the occupancy-adaptive ``"auto"``
+    engine by default — the calibrated backend planner keeps small
+    counts on the analytic Dirichlet-kernel path and moves the
+    near-full-occupancy points (the 224/256-device tail, where
+    ``D ~ N/2``) onto the padded FFT, with bit-identical decisions.
+    Pass ``engine="analytic"`` to pin the closed-form path, or
+    ``engine="time"`` with ``workers=`` for the reference time-domain
+    path in a process pool.
     """
     generator = make_rng(rng)
     if deployment is None:

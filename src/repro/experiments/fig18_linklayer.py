@@ -37,16 +37,18 @@ def run(
     device_counts: Sequence[int] = DEFAULT_DEVICE_COUNTS,
     n_rounds: int = 3,
     rng: RngLike = None,
-    engine: str = "analytic",
+    engine: str = "auto",
     workers: Optional[int] = None,
     float32_min_devices: Optional[int] = None,
 ) -> ExperimentResult:
     """Sweep device counts; tabulate link-layer rates for all schemes.
 
     The PHY decode is query-length agnostic, so each count runs *one*
-    batched sweep point (analytic engine by default) and both NetScatter
-    configurations are accounted from the same per-round goodput — the
-    config-2 rate just divides by its longer-query round air time.
+    batched sweep point (occupancy-adaptive ``"auto"`` engine by
+    default, which shifts the near-full-occupancy tail onto the padded
+    FFT) and both NetScatter configurations are accounted from the same
+    per-round goodput — the config-2 rate just divides by its
+    longer-query round air time.
     """
     generator = make_rng(rng)
     if deployment is None:

@@ -160,13 +160,23 @@ class SparseReadout:
         return self._bin_indices.size
 
     @property
-    def operator_bytes(self) -> int:
-        """Memory footprint of the (N, K) operator, built or not.
+    def operator_materialised(self) -> bool:
+        """Whether the lazy ``(N, K)`` operator has been built."""
+        return self._op is not None
 
-        Computed from the shape so that introspection never forces the
-        lazy operator to materialise on analytic-path receivers.
+    @property
+    def operator_bytes(self) -> int:
+        """Actual memory held by the ``(N, K)`` operator right now.
+
+        0 while the lazy operator is unmaterialised — introspection must
+        never force the build (analytic-path receivers live their whole
+        life without it), and reporting the hypothetical size would
+        overstate a purely analytic consumer's footprint by the one
+        array it deliberately avoids allocating.
         """
-        return 16 * self._params.n_samples * self._bin_indices.size
+        if self._op is None:
+            return 0
+        return self._op.nbytes
 
     def spectrum(self, symbols: np.ndarray) -> np.ndarray:
         """Complex spectrum values at the readout bins.

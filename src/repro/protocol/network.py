@@ -6,18 +6,33 @@ deployment's devices, run query/response rounds with the fast PHY path
 receiver, and account air time — producing the network PHY rate,
 link-layer rate and latency series of Figs. 17-19.
 
-Two PHY engines are available per simulator:
+Three PHY engines are available per simulator:
 
 * ``"analytic"`` (default) — every round is a tone sum, so the whole
   compose -> dechirp -> readout chain is evaluated in closed form at
   the receiver's readout bins (:meth:`NetScatterReceiver.decode_readout`)
   with exact readout-domain AWGN; no waveform tensor is materialised
   and the sparse-readout operator is never built.
+* ``"auto"`` — the occupancy-adaptive engine: each batch goes through
+  :meth:`NetScatterReceiver.decode_readout` under ``readout="auto"``,
+  which lets the host-calibrated cost model
+  (:mod:`repro.phy.backend_plan`) pick the cheapest spectral backend
+  for the batch's device count (closed-form kernel at small occupancy,
+  padded FFT near full occupancy). Decisions are bit-identical to the
+  fixed engines; the chosen backend is recorded on the results.
 * ``"time"`` — the reference path: :func:`compose_rounds` waveform
   tensors, time-domain AWGN, batched sparse readout. Decisions match
   the analytic engine bit for bit on noiseless inputs (the equivalence
   suite pins this); under noise the two draw statistically identical
   AWGN through different mechanisms.
+
+Fading rounds are batched like everything else: the per-device AR(1)
+shadow-fading tracks advance ``n_rounds`` at a time through
+:func:`repro.channel.fading.step_tracks` (same draws, one generator
+call) and enter the composition as per-round amplitude rows and
+per-round noise floors — no per-round Python loop. The legacy
+round-by-round draw survives as ``fading_mode="per_round"`` for
+benchmarking and statistical-equivalence tests.
 """
 
 from __future__ import annotations
@@ -43,7 +58,11 @@ from repro.phy.packet import PacketStructure
 from repro.utils.rng import RngLike, child_rng, make_rng
 
 #: Engine names accepted by :class:`NetworkSimulator` and the sweeps.
-ENGINES = ("analytic", "time")
+ENGINES = ("analytic", "auto", "time")
+
+#: Wall-clock spacing assumed between fading rounds (seconds): the
+#: AR(1) tracks step by this much per round on both fading paths.
+FADING_ROUND_INTERVAL_S = 0.06
 
 
 @dataclass
@@ -55,6 +74,8 @@ class RoundResult:
     sent_bits: Dict[int, List[int]] = field(default_factory=dict)
     received_bits: Dict[int, List[int]] = field(default_factory=dict)
     detected: Dict[int, bool] = field(default_factory=dict)
+    #: Spectral backend that decoded this round ("analytic"/"sparse"/"fft").
+    backend: str = ""
 
     @property
     def total_bits_sent(self) -> int:
@@ -113,6 +134,9 @@ class NetworkMetrics:
     delivery_ratio: float
     bit_error_rate: float
     goodput_bits_per_round: float = 0.0
+    #: Spectral backend that decoded the batch — makes sweep outputs
+    #: self-describing under the occupancy-adaptive ``"auto"`` engine.
+    backend: str = ""
 
 
 class NetworkSimulator:
@@ -123,12 +147,24 @@ class NetworkSimulator:
     engine:
         ``"analytic"`` (default) decodes every round through the
         waveform-free Dirichlet-kernel path with readout-domain AWGN;
+        ``"auto"`` additionally lets the calibrated backend planner
+        switch to the sparse-matmul or padded-FFT readout when the
+        occupancy makes them cheaper (same decisions, recorded in
+        ``RoundResult.backend`` / ``NetworkMetrics.backend``);
         ``"time"`` composes full time-domain tensors and adds AWGN over
         them (the reference path).
     readout_dtype:
         Optional complex dtype of the analytic readout matmuls —
         ``numpy.complex64`` halves kernel cost/memory for very large
         device counts. ``None`` keeps full double precision.
+    fading_mode:
+        ``"batched"`` (default) advances every device's fading track a
+        whole batch at a time (:func:`repro.channel.fading.step_tracks`)
+        so fading rounds flow through the batched engines like static
+        ones; ``"per_round"`` keeps the legacy execution — each fading
+        round drawn *and decoded* on its own, Markov state stepped
+        between rounds — as the reference for statistical equivalence
+        and the benchmark baseline.
     """
 
     def __init__(
@@ -142,10 +178,16 @@ class NetworkSimulator:
         rng: RngLike = None,
         engine: str = "analytic",
         readout_dtype=None,
+        fading_mode: str = "batched",
     ) -> None:
         if engine not in ENGINES:
             raise ConfigurationError(
                 f"engine must be one of {ENGINES}, got {engine!r}"
+            )
+        if fading_mode not in ("batched", "per_round"):
+            raise ConfigurationError(
+                "fading_mode must be 'batched' or 'per_round', "
+                f"got {fading_mode!r}"
             )
         if config is None:
             # The deployment experiments run all 256 devices concurrently;
@@ -166,6 +208,7 @@ class NetworkSimulator:
         self._rng = make_rng(rng)
         self._engine = engine
         self._readout_dtype = readout_dtype
+        self._fading_mode = fading_mode
         self._structure = PacketStructure(payload_bits=self._payload_bits)
 
         # Per-device impairment models (fixed per device, drawn per packet).
@@ -179,10 +222,11 @@ class NetworkSimulator:
         self._assignments = power_aware_allocation(
             [s + g for s, g in zip(snrs, self._gains_db)], config
         )
+        readout = {"analytic": "analytic", "auto": "auto"}.get(
+            engine, "sparse"
+        )
         self._receiver = NetScatterReceiver(
-            config,
-            self._assignments,
-            readout="analytic" if engine == "analytic" else "sparse",
+            config, self._assignments, readout=readout
         )
 
     @property
@@ -231,14 +275,17 @@ class NetworkSimulator:
     def _draw_round_inputs(self, fading: bool):
         """Draw one round's composition inputs (bins, amps, phases, bits).
 
-        Only the fading path still uses this per-round form: the fading
-        processes are Markov state stepped round by round. Static-channel
+        Only ``fading_mode="per_round"`` still uses this form: it is the
+        legacy reference the batched fading path is validated against
+        (and the baseline the fading benchmark measures). All other
         batches draw everything at once in :meth:`_draw_batch_inputs`.
         """
         effective = self.effective_snrs_db()
         if fading:
             effective = [
-                e + dev.step_channel(0.06, self._rng) - dev.uplink_snr_db
+                e
+                + dev.step_channel(FADING_ROUND_INTERVAL_S, self._rng)
+                - dev.uplink_snr_db
                 for e, dev in zip(effective, self._deployment.devices)
             ]
         # Reference device: the weakest. Its amplitude is 1.0 and the
@@ -271,15 +318,47 @@ class NetworkSimulator:
         )
         return effective_bins, amplitudes, phases, payload_bits, floor_snr
 
+    def _fading_effective_snrs_db(self, n_rounds: int) -> np.ndarray:
+        """``(n_rounds, n_devices)`` effective SNRs under batched fading.
+
+        Every device's AR(1) track advances ``n_rounds`` steps in one
+        vectorised pass (:func:`repro.channel.fading.step_tracks`);
+        devices without a fading process keep their static SNR and —
+        matching the per-round path — consume no generator draws.
+        """
+        from repro.channel.fading import step_tracks
+
+        devices = self._deployment.devices
+        processes = [d.fading for d in devices]
+        present = [p is not None for p in processes]
+        tracks = np.tile(
+            np.array([d.uplink_snr_db for d in devices]), (n_rounds, 1)
+        )
+        if any(present):
+            faded = step_tracks(
+                [p for p in processes if p is not None],
+                FADING_ROUND_INTERVAL_S,
+                n_rounds,
+                self._rng,
+            )
+            tracks[:, np.array(present)] = faded
+        # Same convention as the per-round path: the fading track
+        # replaces the device's base SNR, while the experiment-level
+        # reference scale and the power-control gain ride on top.
+        return tracks + self._scale_db + np.asarray(self._gains_db)[None, :]
+
     def _draw_batch_inputs(self, n_rounds: int, fading: bool):
         """Draw a whole batch's composition inputs in vectorised form.
 
         Returns ``(bins, amplitudes, phases, payload, floors)`` with
-        round-major shapes. Static channels draw jitter/CFO/phases/bits
-        as single ``(rounds, devices)`` batches; fading channels fall
-        back to the per-round Markov draw and stack.
+        round-major shapes. Jitter/CFO/phases/bits are always drawn as
+        single ``(rounds, devices)`` batches; fading adds per-round
+        amplitude rows and noise floors from the batched AR(1) tracks
+        (statistically identical to — and validated against — the
+        legacy ``fading_mode="per_round"`` execution, which draws each
+        round through :meth:`_draw_round_inputs`).
         """
-        if fading:
+        if fading and self._fading_mode == "per_round":
             draws = [self._draw_round_inputs(True) for _ in range(n_rounds)]
             return (
                 np.stack([d[0] for d in draws]),
@@ -288,9 +367,15 @@ class NetworkSimulator:
                 np.stack([d[3] for d in draws]),
                 np.array([d[4] for d in draws]),
             )
-        effective = np.asarray(self.effective_snrs_db())
-        floor_snr = float(effective.min())
-        rel_gains_db = effective - floor_snr
+        if fading:
+            effective = self._fading_effective_snrs_db(n_rounds)
+            floors = effective.min(axis=1)
+            rel_gains_db = effective - floors[:, None]
+        else:
+            static = np.asarray(self.effective_snrs_db())
+            floor_snr = float(static.min())
+            rel_gains_db = static - floor_snr
+            floors = np.full(n_rounds, floor_snr)
 
         n_devices = self._deployment.n_devices
         params = self._params
@@ -323,7 +408,6 @@ class NetworkSimulator:
         payload = self._rng.integers(
             0, 2, size=(n_rounds, self._payload_bits, n_devices)
         )
-        floors = np.full(n_rounds, floor_snr)
         return bins, amplitudes, phases, payload, floors
 
     def _run_batch(
@@ -333,12 +417,27 @@ class NetworkSimulator:
 
         Returns ``(decode, payload_tensor, floor_snrs)`` where ``decode``
         is the engine's :class:`RoundsDecode` and ``payload_tensor`` is
-        ``(n_rounds, payload_bits, n_devices)``. The ``"analytic"``
-        engine never materialises a waveform: the tone parameters go
-        straight to :meth:`NetScatterReceiver.decode_readout` with the
-        channel AWGN injected at the readout bins; the ``"time"`` engine
-        composes the full tensor and adds time-domain noise.
+        ``(n_rounds, payload_bits, n_devices)``. The ``"analytic"`` and
+        ``"auto"`` engines never materialise a waveform up front: the
+        tone parameters go straight to
+        :meth:`NetScatterReceiver.decode_readout` with the channel AWGN
+        injected at the readout bins (under ``"auto"`` the receiver's
+        planner may still synthesise the tensor when the padded FFT is
+        the cheaper readout); the ``"time"`` engine composes the full
+        tensor and adds time-domain noise.
+
+        ``fading_mode="per_round"`` executes fading batches the legacy
+        way — one single-round draw + decode per round, Markov state
+        stepped in between — and concatenates the per-round decodes, so
+        the batched path has an in-tree reference (and the fading
+        benchmark a baseline) with identical per-round semantics.
         """
+        if fading and self._fading_mode == "per_round" and n_rounds > 1:
+            parts = [self._run_batch(1, True) for _ in range(n_rounds)]
+            decode = RoundsDecode.concatenate([p[0] for p in parts])
+            payload = np.concatenate([p[1] for p in parts])
+            floors = np.concatenate([p[2] for p in parts])
+            return decode, payload, floors
         bins, amplitudes, phases, payload, floors = self._draw_batch_inputs(
             n_rounds, fading
         )
@@ -349,7 +448,7 @@ class NetworkSimulator:
         )
         bit_tensor[:, n_preamble:] = payload
 
-        if self._engine == "analytic":
+        if self._engine in ("analytic", "auto"):
             decode = self._receiver.decode_readout(
                 bins,
                 amplitudes,
@@ -383,7 +482,9 @@ class NetworkSimulator:
             self._config, self._query_bits, self._structure
         )
         result = RoundResult(
-            n_devices=self._deployment.n_devices, airtime=airtime
+            n_devices=self._deployment.n_devices,
+            airtime=airtime,
+            backend=decode.backend,
         )
         for index, device in enumerate(self._deployment.devices):
             result.sent_bits[device.device_id] = payload[
@@ -437,6 +538,7 @@ class NetworkSimulator:
             delivery_ratio=delivery,
             bit_error_rate=ber,
             goodput_bits_per_round=goodput_bits_per_round,
+            backend=decode.backend,
         )
 
 
@@ -493,7 +595,9 @@ def sweep_device_counts(
     float32_min_devices:
         When set, points with at least that many devices use
         ``numpy.complex64`` analytic operators (e.g. ``256`` to halve
-        the cost of the largest Fig. 17 points). Ignored by the
+        the cost of the largest Fig. 17 points). Applies to the
+        ``"analytic"`` and ``"auto"`` engines (under ``"auto"`` only
+        when the planner keeps the analytic backend); ignored by the
         time-domain engine.
     """
     if engine not in ENGINES:
@@ -505,7 +609,7 @@ def sweep_device_counts(
     for count in device_counts:
         dtype = None
         if (
-            engine == "analytic"
+            engine in ("analytic", "auto")
             and float32_min_devices is not None
             and count >= int(float32_min_devices)
         ):

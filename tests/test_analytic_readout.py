@@ -325,3 +325,63 @@ class TestDecodeEquivalence:
         config = NetScatterConfig(n_association_shifts=0)
         with pytest.raises(DecodingError):
             NetScatterReceiver(config, {0: 0}, readout="exact")
+
+
+class TestPreambleRowDedup:
+    """compose_readout(n_preamble_rows=) computes shared rows once."""
+
+    def _batch(self, n_rounds=3, n_devices=12, n_payload=7, seed=31):
+        config = NetScatterConfig(n_association_shifts=0)
+        params = config.chirp_params
+        rng = np.random.default_rng(seed)
+        shifts = np.arange(n_devices, dtype=float) * 2
+        bins, amps, phases, bt = _random_batch(
+            config, shifts, n_rounds, n_payload, rng
+        )
+        readout = SparseReadout(
+            params, 10, rng.integers(0, 5120, size=90)
+        )
+        return params, bins, amps, phases, bt, readout
+
+    def test_dedup_matches_full_computation(self):
+        params, bins, amps, phases, bt, readout = self._batch()
+        full = compose_readout(params, bins, amps, phases, bt, readout)
+        deduped = compose_readout(
+            params, bins, amps, phases, bt, readout, n_preamble_rows=6
+        )
+        # Payload rows come from the same GEMM inputs -> bit-identical;
+        # the broadcast preamble rows equal the first computed row.
+        assert np.array_equal(full[:, 6:], deduped[:, 6:])
+        assert np.allclose(full[:, :6], deduped[:, :6], rtol=1e-12)
+        assert all(
+            np.array_equal(deduped[:, 0], deduped[:, s]) for s in range(6)
+        )
+
+    def test_non_identical_rows_fall_back(self):
+        params, bins, amps, phases, bt, readout = self._batch()
+        bt = bt.copy()
+        bt[:, 2, 0] = 0.0  # break the all-on claim in one preamble row
+        full = compose_readout(params, bins, amps, phases, bt, readout)
+        claimed = compose_readout(
+            params, bins, amps, phases, bt, readout, n_preamble_rows=6
+        )
+        assert np.array_equal(full, claimed)
+
+    def test_decode_readout_uses_dedup_transparently(self):
+        """The receiver's analytic path (which passes n_preamble_rows)
+        still matches the time-domain backends bit for bit."""
+        config = NetScatterConfig(n_association_shifts=0)
+        assignments = {i: 2 * i for i in range(12)}
+        rng = np.random.default_rng(8)
+        shifts = np.array(list(assignments.values()), dtype=float)
+        bins, amps, phases, bt = _random_batch(
+            config, shifts, 3, 9, rng
+        )
+        analytic = NetScatterReceiver(
+            config, assignments, readout="analytic"
+        ).decode_readout(bins, amps, phases, bt)
+        sparse = NetScatterReceiver(config, assignments).decode_rounds(
+            compose_rounds(config.chirp_params, bins, amps, phases, bt)
+        )
+        assert np.array_equal(analytic.bits, sparse.bits)
+        assert np.array_equal(analytic.detected, sparse.detected)

@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.channel.fading import FadingProcess, snr_variance_samples
+from repro.channel.fading import (
+    FadingProcess,
+    snr_variance_samples,
+    step_tracks,
+)
 from repro.errors import ReproError
 
 
@@ -90,3 +94,63 @@ class TestVarianceSamples:
         process = FadingProcess(mean_snr_db=0.0)
         with pytest.raises(ReproError):
             snr_variance_samples(process, 10.0, 1.0, 100.0, rng)
+
+
+class TestStepTracks:
+    """Batched population stepping == per-round per-process stepping."""
+
+    def _populations(self, n, seed=7, std=1.5):
+        means = np.linspace(-3.0, 9.0, n)
+        a = [FadingProcess(mean_snr_db=m, std_db=std) for m in means]
+        b = [FadingProcess(mean_snr_db=m, std_db=std) for m in means]
+        for p, q in zip(a, b):
+            p.reset(np.random.default_rng(seed))
+            q._state_db = p._state_db
+        return a, b
+
+    def test_same_seed_pins_per_round_loop(self):
+        """The batched draws consume the generator exactly like the
+        round-major per-process loop, so the tracks are bit-identical."""
+        a, b = self._populations(5)
+        batched = step_tracks(a, 0.06, 40, np.random.default_rng(42))
+        loop_rng = np.random.default_rng(42)
+        legacy = np.array(
+            [[q.step(0.06, loop_rng) for q in b] for _ in range(40)]
+        )
+        assert np.array_equal(batched, legacy)
+        for p, q in zip(a, b):
+            assert p._state_db == q._state_db
+
+    def test_degenerate_processes_draw_nothing(self):
+        """Zero-variance tracks stay flat and leave the stream alone,
+        matching FadingProcess.step's innovation gating."""
+        flat = FadingProcess(mean_snr_db=4.0, std_db=0.0)
+        live_a = FadingProcess(mean_snr_db=0.0, std_db=1.0)
+        live_b = FadingProcess(mean_snr_db=0.0, std_db=1.0)
+        live_b._state_db = live_a._state_db
+        track = step_tracks(
+            [live_a, flat], 0.06, 25, np.random.default_rng(3)
+        )
+        assert np.all(track[:, 1] == 4.0)
+        solo_rng = np.random.default_rng(3)
+        solo = np.array([live_b.step(0.06, solo_rng) for _ in range(25)])
+        assert np.array_equal(track[:, 0], solo)
+
+    def test_stationary_variance_preserved(self):
+        processes = [
+            FadingProcess(mean_snr_db=0.0, std_db=1.5) for _ in range(8)
+        ]
+        rng = np.random.default_rng(11)
+        for p in processes:
+            p.reset(rng)
+        track = step_tracks(processes, 1.0, 600, rng)
+        assert np.std(track) == pytest.approx(1.5, rel=0.2)
+
+    def test_validation(self):
+        process = FadingProcess(mean_snr_db=0.0)
+        with pytest.raises(ReproError):
+            step_tracks([], 0.06, 5)
+        with pytest.raises(ReproError):
+            step_tracks([process], -0.1, 5)
+        with pytest.raises(ReproError):
+            step_tracks([process], 0.06, 0)

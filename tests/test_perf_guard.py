@@ -4,15 +4,22 @@ A coarse budget assertion (not a benchmark): the quick Fig. 17 sweep
 must stay well under a generous wall-clock ceiling, so a future change
 that silently re-materialises waveforms, rebuilds operators per round
 or otherwise regresses the analytic engine fails loudly here instead of
-slowly rotting the benchmark suite.
+slowly rotting the benchmark suite. The second guard drives
+``benchmarks/perf_smoke.py --quick`` end to end (against a temporary
+output file) so the perf-tracking entry points cannot silently rot
+either.
 
 Skippable on constrained or heavily-shared machines::
 
     REPRO_SKIP_PERF_GUARD=1 python -m pytest tests/test_perf_guard.py
 """
 
+import importlib.util
+import json
 import os
+import sys
 import time
+from pathlib import Path
 
 import pytest
 
@@ -24,6 +31,9 @@ from repro.protocol.network import sweep_device_counts
 #: engine runs it in well under a second on a single modest core; the
 #: pre-engine time-domain path took several times longer.
 BUDGET_S = 6.0
+
+#: Ceiling for the full --quick benchmark subset (spec: sub-10 s).
+QUICK_BENCH_BUDGET_S = 10.0
 
 skip_guard = pytest.mark.skipif(
     os.environ.get("REPRO_SKIP_PERF_GUARD") == "1",
@@ -50,3 +60,39 @@ def test_fig17_quick_sweep_within_budget():
         f"analytic fig17 quick sweep took {elapsed:.2f}s "
         f"(budget {BUDGET_S}s) — the fast path has regressed"
     )
+
+
+def _load_perf_smoke():
+    """Import benchmarks/perf_smoke.py without requiring a package."""
+    path = (
+        Path(__file__).resolve().parent.parent
+        / "benchmarks"
+        / "perf_smoke.py"
+    )
+    spec = importlib.util.spec_from_file_location("perf_smoke", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("perf_smoke", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+@skip_guard
+def test_perf_smoke_quick_mode_within_budget(tmp_path):
+    """--quick runs end to end, sub-10 s, into the given output file."""
+    perf_smoke = _load_perf_smoke()
+    output = tmp_path / "bench.json"
+    start = time.perf_counter()
+    perf_smoke.main(quick=True, output=output)
+    elapsed = time.perf_counter() - start
+    assert elapsed < QUICK_BENCH_BUDGET_S, (
+        f"perf_smoke --quick took {elapsed:.2f}s "
+        f"(budget {QUICK_BENCH_BUDGET_S}s)"
+    )
+    report = json.loads(output.read_text())
+    assert report["schema"] == "bench-fastpath-v2"
+    (run,) = report["runs"]
+    assert run["quick"] is True
+    point = run["fig17_point256"]
+    assert point["speedup_auto"] > 0
+    assert point["auto"]["backend"] in ("analytic", "sparse", "fft")
+    assert "speedup_batched_vs_legacy" in run["fading"]

@@ -193,3 +193,87 @@ class TestSweep:
         )
         for a, b in zip(serial, pooled):
             assert a == b
+
+
+class TestAdaptiveEngineAndFading:
+    def test_auto_engine_records_backend(self):
+        deployment = paper_deployment(n_devices=8, rng=3)
+        sim = NetworkSimulator(deployment, rng=4, engine="auto")
+        metrics = sim.run_rounds(2)
+        assert metrics.backend in ("analytic", "sparse", "fft")
+        assert metrics.delivery_ratio == pytest.approx(1.0)
+        result = sim.run_round()
+        assert result.backend == metrics.backend
+
+    def test_fixed_engines_record_their_backend(self):
+        deployment = paper_deployment(n_devices=4, rng=3)
+        analytic = NetworkSimulator(deployment, rng=4, engine="analytic")
+        assert analytic.run_rounds(1).backend == "analytic"
+        time_sim = NetworkSimulator(deployment, rng=4, engine="time")
+        assert time_sim.run_rounds(1).backend == "sparse"
+
+    def test_sweep_auto_engine(self):
+        deployment = paper_deployment(n_devices=32, rng=3)
+        metrics = sweep_device_counts(
+            deployment, (4, 32), n_rounds=1, rng=5, engine="auto"
+        )
+        assert [m.n_devices for m in metrics] == [4, 32]
+        assert all(
+            m.backend in ("analytic", "sparse", "fft") for m in metrics
+        )
+
+    def test_invalid_fading_mode_rejected(self):
+        deployment = paper_deployment(n_devices=4, rng=3)
+        with pytest.raises(ConfigurationError):
+            NetworkSimulator(deployment, fading_mode="vectorised")
+
+    def test_batched_fading_statistically_matches_per_round(self):
+        """Same deployment, same seed: the batched AR(1)-track path and
+        the legacy per-round execution draw through different stream
+        interleavings, so metrics agree statistically, not bitwise.
+        The nonzero reference scale must shift both paths alike."""
+        outcomes = {}
+        for mode in ("batched", "per_round"):
+            deployment = paper_deployment(n_devices=24, rng=6)
+            sim = NetworkSimulator(
+                deployment,
+                rng=7,
+                engine="analytic",
+                fading_mode=mode,
+                reference_snr_scale_db=4.0,
+            )
+            outcomes[mode] = sim.run_rounds(60, fading=True)
+        batched, legacy = outcomes["batched"], outcomes["per_round"]
+        assert batched.delivery_ratio == pytest.approx(
+            legacy.delivery_ratio, abs=0.03
+        )
+        assert batched.bit_error_rate == pytest.approx(
+            legacy.bit_error_rate, abs=0.01
+        )
+        assert batched.phy_rate_bps == pytest.approx(
+            legacy.phy_rate_bps, rel=0.05
+        )
+
+    def test_fading_rounds_flow_through_batched_engine(self):
+        """A multi-round fading batch is one decode call (not a Python
+        loop): its backend is recorded and the metrics are finite."""
+        deployment = paper_deployment(n_devices=8, rng=3)
+        sim = NetworkSimulator(deployment, rng=4, engine="auto")
+        metrics = sim.run_rounds(5, fading=True)
+        assert metrics.backend in ("analytic", "sparse", "fft")
+        assert 0.0 <= metrics.delivery_ratio <= 1.0
+
+    def test_batched_fading_keeps_reference_scale(self):
+        """The batched track floor equals the per-round convention:
+        fading SNR + reference scale + power gain."""
+        deployment = paper_deployment(n_devices=6, rng=6)
+        sim = NetworkSimulator(
+            deployment, rng=7, engine="analytic",
+            reference_snr_scale_db=6.0,
+        )
+        effective = sim._fading_effective_snrs_db(4)
+        states = np.array(
+            [d.fading.current_snr_db for d in deployment.devices]
+        )
+        expected_last = states + 6.0 + np.array(sim._gains_db)
+        assert np.allclose(effective[-1], expected_last)

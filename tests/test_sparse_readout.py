@@ -326,3 +326,50 @@ class TestComposeRoundsValidation:
                 np.zeros((1, 3)),
                 np.zeros((1, 5, 3)),
             )
+
+
+class TestLazyOperator:
+    """The (N, K) operator must stay unbuilt until time-domain use."""
+
+    def test_operator_bytes_zero_until_materialised(self):
+        params = ChirpParams(bandwidth_hz=500e3, spreading_factor=9)
+        readout = SparseReadout(params, 10, np.arange(0, 100))
+        assert not readout.operator_materialised
+        assert readout.operator_bytes == 0
+        # Analytic consumers leave it unbuilt...
+        readout.tone_kernel(np.array([1.0, 2.5]))
+        readout.analytic_noise_covariance()
+        assert not readout.operator_materialised
+        assert readout.operator_bytes == 0
+        # ...and the first time-domain readout builds exactly (N, K).
+        readout.spectrum(np.zeros(params.n_samples, dtype=complex))
+        assert readout.operator_materialised
+        assert readout.operator_bytes == 16 * params.n_samples * 100
+
+    def test_analytic_receiver_never_builds_operators(self):
+        """readout="analytic" decode paths never touch the operator."""
+        # The probe readout is shared process-wide (lru cache); start
+        # from a fresh instance so earlier time-domain tests cannot have
+        # materialised it already.
+        natural_probe_readout.cache_clear()
+        config = NetScatterConfig(n_association_shifts=0)
+        assignments = {i: 2 * i for i in range(16)}
+        rng = np.random.default_rng(21)
+        shifts = np.array(list(assignments.values()), dtype=float)
+        bins = shifts[None, :] + rng.normal(0.0, 0.2, (2, 16))
+        amps = np.ones((2, 16))
+        phases = rng.uniform(0, 2 * np.pi, (2, 16))
+        bits = np.concatenate(
+            [np.ones((2, 6, 16)), rng.integers(0, 2, (2, 8, 16))], axis=1
+        )
+        receiver = NetScatterReceiver(
+            config, assignments, readout="analytic"
+        )
+        receiver.decode_readout(
+            bins, amps, phases, bits,
+            noise_snr_db=-15.0, rng=np.random.default_rng(1),
+        )
+        plan = receiver._readout_plan(dechirped=True)
+        for readout in (plan.window_readout, plan.probe_readout):
+            assert not readout.operator_materialised
+            assert readout.operator_bytes == 0
