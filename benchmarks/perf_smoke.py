@@ -19,6 +19,10 @@ wall-clock:
   seed-style reconstruction (per-round Python loop, full-FFT readout,
   time-domain AWGN, per-device Python scoring — the same baseline
   styling as ``fig12.per_round_fft``);
+* the same batched fading decode under the two engine-noise streams:
+  ``noise_mode="payload"`` (located ``±1``-bin payload draws, stream
+  version 2) vs ``noise_mode="full"`` (every readout bin, version 1 —
+  the pre-PR-4 draws, pinned bit-identical by the regression goldens);
 * the Fig. 17/18/19 figure drivers end to end, and the vectorised
   Section 2.2 Monte-Carlo block.
 
@@ -37,7 +41,10 @@ Run from the repo root::
 entry under ``runs``, so the perf trajectory accumulates across PRs
 instead of being overwritten (a legacy single-run v1 file is imported
 as the first entry). Numbers are machine-dependent; ratios within one
-run are the signal.
+run are the signal. Every report is checked by :func:`validate_report`
+before it is written (and by the tier-1 docs-consistency tests), so
+the schema documented in ``docs/PERFORMANCE.md`` cannot silently
+drift from what the tool emits.
 """
 
 from __future__ import annotations
@@ -324,10 +331,138 @@ def _time_fading(n_rounds: int = FADING_ROUNDS,
     return report
 
 
+def _time_noise_modes(n_rounds: int = FADING_ROUNDS,
+                      n_devices: int = FADING_DEVICES,
+                      repeats: int = 3) -> dict:
+    """Located-bin payload noise stream vs the full-bin version-1 stream.
+
+    Times the batched fading decode path (the analytic engine at the
+    fading benchmark's operating point, where the readout-noise draws
+    were measured at ~45% of remaining decode cost) under both
+    ``noise_mode`` settings. The two streams realise the same noise law
+    — decisions are statistically identical — so the ratio is purely
+    the saved draw/mixing work of reading payload noise only at the
+    located ``±1`` bins.
+    """
+    config = NetScatterConfig(n_association_shifts=0)
+    report: dict = {"n_rounds": n_rounds, "n_devices": n_devices}
+    for mode in ("full", "payload"):
+        best, metrics = float("inf"), None
+        for _ in range(repeats):
+            deployment = paper_deployment(n_devices=n_devices, rng=2026)
+            sim = NetworkSimulator(
+                deployment, config=config, rng=5,
+                engine="analytic", noise_mode=mode,
+            )
+            start = time.perf_counter()
+            metrics = sim.run_rounds(n_rounds, fading=True)
+            best = min(best, time.perf_counter() - start)
+        report[mode] = {
+            "wall_clock_s": round(best, 4),
+            "noise_version": metrics.noise_version,
+            "backend": metrics.backend,
+        }
+    report["speedup_payload_vs_full"] = round(
+        report["full"]["wall_clock_s"]
+        / report["payload"]["wall_clock_s"],
+        2,
+    )
+    return report
+
+
 def _time_callable(fn, **kwargs) -> dict:
     start = time.perf_counter()
     fn(**kwargs)
     return {"wall_clock_s": round(time.perf_counter() - start, 3)}
+
+
+def validate_report(report: dict) -> dict:
+    """Validate a ``BENCH_fastpath.json`` payload against schema v2.
+
+    Raises ``ValueError`` on the first violation, returns the report
+    unchanged otherwise. The rules are the documented schema
+    (``docs/PERFORMANCE.md``): a ``bench-fastpath-v2`` envelope with a
+    non-empty append-only ``runs`` list; every non-legacy run carries
+    ``timestamp`` + ``host``; every ``wall_clock_s`` anywhere in a run
+    is a non-negative number and every ``speedup*`` key a positive
+    number; ``noise_modes`` sections record both streams' versions and
+    their speedup ratio. Section-*presence* rules (a quick run must
+    carry ``fig17_point256`` + ``fading`` + ``noise_modes``) apply
+    only to the **newest** run — the one the current tool produced.
+    The history is append-only and older runs were written by older
+    section layouts; rejecting them would force hand-editing the
+    accumulated trajectory, exactly what this file must never require.
+    """
+    if not isinstance(report, dict):
+        raise ValueError("report must be a JSON object")
+    if report.get("schema") != "bench-fastpath-v2":
+        raise ValueError(
+            f"unexpected schema {report.get('schema')!r}; "
+            "expected 'bench-fastpath-v2'"
+        )
+    runs = report.get("runs")
+    if not isinstance(runs, list) or not runs:
+        raise ValueError("runs must be a non-empty list")
+
+    def is_number(value):
+        # bool is an int subclass; a JSON `true` is not a wall-clock.
+        return isinstance(value, (int, float)) and not isinstance(
+            value, bool
+        )
+
+    def walk(node, path):
+        if isinstance(node, list):
+            for index, item in enumerate(node):
+                walk(item, f"{path}[{index}]")
+            return
+        if not isinstance(node, dict):
+            return
+        for key, value in node.items():
+            where = f"{path}.{key}"
+            if key == "wall_clock_s":
+                if not is_number(value) or value < 0:
+                    raise ValueError(f"{where} must be a >= 0 number")
+            elif key.startswith("speedup"):
+                if not is_number(value) or value <= 0:
+                    raise ValueError(f"{where} must be a positive number")
+            else:
+                walk(value, where)
+
+    for index, run in enumerate(runs):
+        where = f"runs[{index}]"
+        if not isinstance(run, dict):
+            raise ValueError(f"{where} must be an object")
+        if "note" in run:
+            continue  # imported v1 / opaque legacy entries
+        if not isinstance(run.get("timestamp"), str):
+            raise ValueError(f"{where}.timestamp missing")
+        if not isinstance(run.get("host"), dict):
+            raise ValueError(f"{where}.host missing")
+        walk(run, where)
+        if run.get("quick") and index == len(runs) - 1:
+            for section in ("fig17_point256", "fading", "noise_modes"):
+                if section not in run:
+                    raise ValueError(
+                        f"{where} is a quick run but lacks {section!r}"
+                    )
+        modes = run.get("noise_modes")
+        if modes is not None:
+            for mode, version in (("full", 1), ("payload", 2)):
+                entry = modes.get(mode)
+                if not isinstance(entry, dict):
+                    raise ValueError(
+                        f"{where}.noise_modes.{mode} missing"
+                    )
+                if entry.get("noise_version") != version:
+                    raise ValueError(
+                        f"{where}.noise_modes.{mode} must record "
+                        f"noise_version {version}"
+                    )
+            if "speedup_payload_vs_full" not in modes:
+                raise ValueError(
+                    f"{where}.noise_modes lacks speedup_payload_vs_full"
+                )
+    return report
 
 
 def _load_previous_runs(output: Path) -> list:
@@ -384,6 +519,7 @@ def main(quick: bool = False, output=None) -> dict:
             "auto": _time_fig17_point256("auto"),
         }
         run["fading"] = _time_fading(n_rounds=30, n_devices=32)
+        run["noise_modes"] = _time_noise_modes(n_rounds=30, n_devices=32)
     else:
         run["fig12"] = {
             "per_round_fft": _time_fig12_legacy(),
@@ -403,6 +539,7 @@ def main(quick: bool = False, output=None) -> dict:
             "auto": _time_fig17_point256("auto"),
         }
         run["fading"] = _time_fading()
+        run["noise_modes"] = _time_noise_modes()
         run["figure_drivers"] = {
             "fig17": _time_callable(fig17_phy_rate.run, rng=17),
             "fig18": _time_callable(fig18_linklayer.run, rng=18),
@@ -430,6 +567,7 @@ def main(quick: bool = False, output=None) -> dict:
     runs = _load_previous_runs(output)
     runs.append(run)
     report = {"schema": "bench-fastpath-v2", "runs": runs}
+    validate_report(report)
     output.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(run, indent=2))
     print(f"\nappended run {len(runs)} to {output}")

@@ -21,6 +21,17 @@ sums for simulation at two fidelities:
   symbols x ``2^SF``.
 
 All paths produce values the same :class:`NetScatterReceiver` decodes.
+
+Noise never enters here: composition is deterministic given its draw
+inputs, and each decode entry point adds its own AWGN — time-domain
+(:func:`repro.channel.awgn.awgn_rounds`) over :func:`compose_rounds`
+tensors, or readout-domain from a versioned
+:class:`repro.phy.noise.NoiseStream` when the engine injects noise at
+the bins :func:`compose_readout` evaluated (``noise_mode="payload"``
+draws only the located ``±1`` payload bins; ``"full"`` draws them
+all). Keeping composition noise-free is what lets one composed batch
+be decoded under several noise modes, backends and seeds for
+equivalence testing.
 """
 
 from __future__ import annotations

@@ -29,7 +29,7 @@ a round batch of ``R`` rounds x ``S`` symbols at chirp length ``N``
 
 Cost model
 ----------
-Each backend's wall-clock is predicted as a weighted sum of five
+Each backend's wall-clock is predicted as a weighted sum of six
 primitive throughputs measured once per host by :func:`calibrate` (a
 ~0.1 s micro-benchmark whose result is persisted, so the crossover
 points are *pinned by measurement* instead of hard-coded flop ratios —
@@ -43,21 +43,59 @@ machine-dependent constants):
 * ``exp_elem_s`` — seconds per element of a complex-exponential
   evaluation (tone synthesis),
 * ``ew_pass_s`` — seconds per element of one bandwidth-bound array
-  pass (the analytic kernel's trigonometric grid assembly).
+  pass (the analytic kernel's trigonometric grid assembly),
+* ``gauss_elem_s`` — seconds per complex CN(0,1) draw (the engine's
+  readout-domain noise streams).
 
 With the dev-box coefficients the model reproduces the measured
 ordering: ``analytic`` below ~100 devices at the deployment point
 (SF 9, ``zp`` 10, 46-symbol rounds), ``fft`` above, with ``sparse``
 dominated on tone-sum inputs (its niche is tensor inputs at small
 ``D``, where ``analytic`` is not available). See the README's
-four-mode table for the measured crossover.
+four-mode table for the measured crossover and
+``docs/PERFORMANCE.md`` for the full decision guide.
+
+Workloads that inject engine noise carry their ``noise_mode``
+(``"full"`` draws every readout bin each symbol, ``"payload"`` only the
+preamble windows plus the located ``±1`` payload bins — see
+:mod:`repro.phy.noise`). The noise term is *backend-common* — every
+spectral backend draws the same stream — so by construction it never
+flips the backend ordering; it is modelled so predicted totals track
+wall-clock, and so cost introspection (``costs()``) quantifies what a
+``noise_mode`` switch is worth at a given operating point.
 
 Consumers go through :func:`host_planner` (cached, calibrating at most
 once per process) or construct :class:`BackendPlanner` with explicit
 coefficients for deterministic tests. The persisted calibration lives
 in the system temp directory by default (override with the
 ``REPRO_BACKEND_CALIBRATION`` environment variable; set it to the empty
-string to disable persistence).
+string to disable persistence). The persistence schema is versioned;
+files written by older schemas are ignored and transparently
+re-calibrated.
+
+Doctest — the crossover ordering and the noise-mode accounting with the
+conservative built-in coefficients:
+
+>>> from repro.phy.backend_plan import (
+...     BackendPlanner, DEFAULT_COEFFICIENTS, ReadoutWorkload)
+>>> planner = BackendPlanner(DEFAULT_COEFFICIENTS)
+>>> def point(d, noise_mode=None):
+...     return ReadoutWorkload(
+...         n_rounds=3, n_symbols=46, n_devices=d, n_samples=512,
+...         zero_pad_factor=10, window_bins=13 * d, probe_bins=512,
+...         window_width=13, noise_mode=noise_mode)
+>>> planner.select(point(8))
+'analytic'
+>>> planner.select(point(256))
+'fft'
+>>> payload = planner.costs(point(64, noise_mode="payload"))
+>>> full = planner.costs(point(64, noise_mode="full"))
+>>> bool(full["analytic"] > payload["analytic"])  # fewer draws
+True
+>>> gap_full = full["fft"] - full["analytic"]       # backend-common term:
+>>> gap_payload = payload["fft"] - payload["analytic"]  # same gap
+>>> bool(abs(gap_full - gap_payload) < 1e-12)
+True
 """
 
 from __future__ import annotations
@@ -82,8 +120,10 @@ BACKENDS = ("analytic", "sparse", "fft")
 #: ("" disables persistence entirely).
 CALIBRATION_ENV = "REPRO_BACKEND_CALIBRATION"
 
-_SCHEMA = "repro-backend-plan-v1"
-
+#: Persistence schema of the calibration file. v2 added the Gaussian
+#: draw primitive (``gauss_elem_s``); v1 files are ignored and
+#: re-calibrated rather than silently carrying a guessed coefficient.
+_SCHEMA = "repro-backend-plan-v2"
 
 @dataclass(frozen=True)
 class ReadoutWorkload:
@@ -95,6 +135,15 @@ class ReadoutWorkload:
     ``tone_input`` marks whether composition inputs are available — when
     False (a pre-composed symbol tensor) the ``analytic`` backend is
     not applicable and the synthesis cost of the other two is sunk.
+
+    ``noise_mode`` is ``None`` when the decode injects no engine noise;
+    otherwise ``"full"`` or ``"payload"`` selects which versioned
+    stream's draw volume to account (backend-common — see the module
+    docstring). Noise accounting additionally needs ``window_width``
+    (``W``, the interpolated bins per device window, so the correlation
+    matmuls and the per-device located-bin draws can be sized) and
+    ``n_preamble`` (the symbol rows the payload stream still draws in
+    full).
     """
 
     n_rounds: int
@@ -105,17 +154,26 @@ class ReadoutWorkload:
     window_bins: int
     probe_bins: int
     tone_input: bool = True
+    window_width: int = 0
+    n_preamble: int = 6
+    noise_mode: Optional[str] = None
 
 
 @dataclass(frozen=True)
 class CalibrationCoefficients:
-    """Measured per-element costs (seconds) of the five primitives."""
+    """Measured per-element costs (seconds) of the six primitives.
+
+    ``gauss_elem_s`` defaults so five-coefficient constructions (and
+    older persisted payloads re-validated through the constructor) stay
+    usable; :func:`calibrate` always measures it.
+    """
 
     real_mac_s: float
     cplx_mac_s: float
     fft_elem_s: float
     exp_elem_s: float
     ew_pass_s: float
+    gauss_elem_s: float = 6.0e-9
 
     def __post_init__(self) -> None:
         for name, value in asdict(self).items():
@@ -135,6 +193,7 @@ DEFAULT_COEFFICIENTS = CalibrationCoefficients(
     fft_elem_s=1.5e-9,
     exp_elem_s=1.5e-8,
     ew_pass_s=1.2e-9,
+    gauss_elem_s=6.0e-9,
 )
 
 
@@ -183,12 +242,20 @@ def calibrate(rng=None) -> CalibrationCoefficients:
     v = generator.standard_normal(1 << 20)
     ew_pass_s = _best_time(lambda: u * v) / u.size
 
+    from repro.utils.rng import standard_complex_normal
+
+    n_draws = 1 << 16
+    gauss_elem_s = _best_time(
+        lambda: standard_complex_normal(generator, (n_draws,))
+    ) / n_draws
+
     return CalibrationCoefficients(
         real_mac_s=real_mac_s,
         cplx_mac_s=cplx_mac_s,
         fft_elem_s=fft_elem_s,
         exp_elem_s=exp_elem_s,
         ew_pass_s=ew_pass_s,
+        gauss_elem_s=gauss_elem_s,
     )
 
 
@@ -253,7 +320,11 @@ class BackendPlanner:
 
         Only applicable backends appear: tensor inputs
         (``tone_input=False``) exclude ``analytic`` and carry no
-        synthesis term for the other two.
+        synthesis term for the other two. When the workload injects
+        engine noise (``noise_mode``), every backend additionally
+        carries the same stream-draw term — backend-common, so it never
+        changes :meth:`select`'s answer, but it keeps the totals honest
+        and exposes the payload-vs-full draw saving to cost readers.
         """
         c = self._coefficients
         w = workload
@@ -262,6 +333,7 @@ class BackendPlanner:
         n_grid = n * w.zero_pad_factor
         if min(r, s, n, kw) < 1 or w.zero_pad_factor < 1:
             raise ConfigurationError("workload dimensions must be >= 1")
+        noise = self._noise_cost(w)
 
         out: Dict[str, float] = {}
         compose = 0.0
@@ -292,7 +364,49 @@ class BackendPlanner:
         out["fft"] = compose + c.fft_elem_s * (
             r * s * n_grid * np.log2(n_grid)
         )
+        if noise:
+            out = {name: cost + noise for name, cost in out.items()}
         return out
+
+    def _noise_cost(self, w: ReadoutWorkload) -> float:
+        """Predicted seconds of the engine-noise draws, or 0 when none.
+
+        Two terms per stream block: the CN(0,1) generation
+        (``gauss_elem_s`` per complex element) and the correlation
+        matmul mixing each window block through its covariance factor
+        (``cplx_mac_s`` per multiply-add — ``W`` per element for full
+        windows, 3 per element for the located payload bins).
+        """
+        if w.noise_mode is None:
+            return 0.0
+        # Lazy import: the live stream registry is the single source of
+        # truth for valid modes, and planner-only consumers that never
+        # account noise never pay for it.
+        from repro.phy.noise import NOISE_MODES
+
+        if w.noise_mode not in NOISE_MODES:
+            raise ConfigurationError(
+                f"noise_mode must be None or one of {NOISE_MODES}, "
+                f"got {w.noise_mode!r}"
+            )
+        width = w.window_width
+        if width < 1:
+            raise ConfigurationError(
+                "noise-accounted workloads need window_width >= 1"
+            )
+        r, s = w.n_rounds, w.n_symbols
+        kw, kp = w.window_bins, w.probe_bins
+        if w.noise_mode == "full":
+            draws = r * s * kw + r * kp
+            correlate = r * s * kw * width
+        else:
+            d_rx = kw / width
+            s_pre = min(max(w.n_preamble, 0), s)
+            s_pay = s - s_pre
+            draws = r * (s_pre * kw + s_pay * 3.0 * d_rx) + r * kp
+            correlate = r * (s_pre * kw * width + s_pay * d_rx * 9.0)
+        c = self._coefficients
+        return c.gauss_elem_s * draws + c.cplx_mac_s * correlate
 
     def select(self, workload: ReadoutWorkload) -> str:
         """Name of the predicted-cheapest applicable backend."""

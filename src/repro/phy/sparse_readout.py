@@ -32,6 +32,34 @@ evaluates that closed form at every readout bin without materialising
 any ``n_samples``-length waveform — the analytic composition path of
 :func:`repro.core.dcss.compose_readout`. The operator matrix itself is
 built lazily so purely analytic consumers never pay for it.
+
+White time-domain noise maps linearly onto any readout, and the
+covariance it acquires depends only on bin *separations* (it is the
+Dirichlet kernel of the separation), so equispaced readouts have
+Toeplitz noise covariances: :meth:`SparseReadout.analytic_noise_covariance`
+for a readout's own bins, :func:`located_bin_noise_covariance` for the
+3-bin located ``±1`` neighbourhood the payload decisions read — the one
+3×3 factor that serves every located position of every device in the
+engine's ``noise_mode="payload"`` stream.
+
+Doctest — the sparse readout *is* the padded FFT at the read columns,
+and the closed-form kernel of an on-grid tone is the full window power:
+
+>>> import numpy as np
+>>> from repro.phy.chirp import ChirpParams
+>>> from repro.phy.sparse_readout import (
+...     SparseReadout, dirichlet_kernel, full_fft_values)
+>>> params = ChirpParams(bandwidth_hz=125e3, spreading_factor=6)
+>>> bins = np.array([8, 9, 10])
+>>> readout = SparseReadout(params, zero_pad_factor=4, bin_indices=bins)
+>>> rng = np.random.default_rng(0)
+>>> symbol = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+>>> sparse = readout.spectrum(symbol)
+>>> exact = full_fft_values(params, 4, symbol, bin_indices=bins)
+>>> bool(np.allclose(sparse, exact))
+True
+>>> int(dirichlet_kernel(64, np.array([0.0]))[0].real)  # unit tone, on-grid
+64
 """
 
 from __future__ import annotations
@@ -74,6 +102,34 @@ def dirichlet_kernel(n_samples: int, offsets: np.ndarray) -> np.ndarray:
     ratio = np.sin(np.pi * u) / np.where(near, 1.0, den)
     limit = n * np.cos(np.pi * u) / np.cos(np.pi * u / n)
     return phase * np.where(near, limit, ratio)
+
+
+def located_bin_noise_covariance(
+    params: ChirpParams, zero_pad_factor: int, width: int = 3
+) -> np.ndarray:
+    """Unit-AWGN covariance of ``width`` *adjacent* interpolated bins.
+
+    Entry ``[k, j]`` is ``D_N((j - k) / zp)`` — the covariance white
+    time-domain noise acquires between interpolated bins ``j - k`` grid
+    steps apart. The matrix is Hermitian Toeplitz because the covariance
+    depends only on the separation, which is the property the payload
+    noise path of the decode engine exploits: the located peak ``±1``
+    read is always three adjacent interpolated bins, so this one
+    ``width=3`` covariance (and its factor,
+    :func:`repro.phy.noise.covariance_factor`) serves every located
+    position in every device's window. Bit-identical to the
+    corresponding block of any equispaced window's
+    :meth:`SparseReadout.analytic_noise_covariance`.
+    """
+    if int(width) < 1:
+        raise DecodingError("width must be >= 1")
+    if int(zero_pad_factor) < 1:
+        raise DecodingError("zero_pad_factor must be >= 1")
+    q = np.arange(int(width), dtype=float)
+    return dirichlet_kernel(
+        params.n_samples,
+        (q[None, :] - q[:, None]) / int(zero_pad_factor),
+    )
 
 
 class SparseReadout:

@@ -26,6 +26,18 @@ Three PHY engines are available per simulator:
   suite pins this); under noise the two draw statistically identical
   AWGN through different mechanisms.
 
+Where the noise enters differs per engine, and the engine-injected
+variant is *versioned*: the ``"analytic"``/``"auto"`` engines draw
+readout-domain AWGN from a :class:`repro.phy.noise.NoiseStream` whose
+``noise_mode`` selects the draw layout — ``"payload"`` (stream version
+2, default: located ``±1`` payload bins only) or ``"full"`` (version 1,
+every readout bin, bit-identical to the historical draws) — while the
+``"time"`` engine adds AWGN over the waveform tensor before decoding
+(its decodes are stamped ``noise_mode="none"``). The stream used is
+recorded on ``NetworkMetrics.noise_mode`` / ``noise_version`` next to
+``backend``, so sweep outputs are reproducible from their seeds alone.
+See ``docs/ARCHITECTURE.md`` for the full data-flow picture.
+
 Fading rounds are batched like everything else: the per-device AR(1)
 shadow-fading tracks advance ``n_rounds`` at a time through
 :func:`repro.channel.fading.step_tracks` (same draws, one generator
@@ -53,6 +65,7 @@ from repro.core.dcss import compose_rounds
 from repro.core.receiver import NetScatterReceiver, RoundsDecode
 from repro.errors import ConfigurationError
 from repro.hardware.mcu import McuTimingModel
+from repro.phy.noise import NOISE_MODES
 from repro.hardware.oscillator import calibrate_population, tag_oscillator
 from repro.phy.packet import PacketStructure
 from repro.utils.rng import RngLike, child_rng, make_rng
@@ -76,6 +89,11 @@ class RoundResult:
     detected: Dict[int, bool] = field(default_factory=dict)
     #: Spectral backend that decoded this round ("analytic"/"sparse"/"fft").
     backend: str = ""
+    #: Engine-noise stream that decoded this round ("payload"/"full",
+    #: or "none" when the noise entered the input tensor instead —
+    #: the time engine) and its version (see repro.phy.noise).
+    noise_mode: str = ""
+    noise_version: int = 0
 
     @property
     def total_bits_sent(self) -> int:
@@ -137,6 +155,11 @@ class NetworkMetrics:
     #: Spectral backend that decoded the batch — makes sweep outputs
     #: self-describing under the occupancy-adaptive ``"auto"`` engine.
     backend: str = ""
+    #: Engine-noise stream of the batch ("payload" version 2 by
+    #: default; "none"/0 under the time engine, whose AWGN is added to
+    #: the waveform tensor before the decode ever sees it).
+    noise_mode: str = ""
+    noise_version: int = 0
 
 
 class NetworkSimulator:
@@ -165,6 +188,16 @@ class NetworkSimulator:
         round drawn *and decoded* on its own, Markov state stepped
         between rounds — as the reference for statistical equivalence
         and the benchmark baseline.
+    noise_mode:
+        Engine-noise stream of the ``"analytic"``/``"auto"`` engines
+        (see :class:`repro.core.receiver.NetScatterReceiver`):
+        ``"payload"`` (default, stream version 2) draws payload noise
+        only at each device's located ``±1`` bins, ``"full"`` (version
+        1) reproduces the historical all-bin draws bit for bit. The
+        ``"time"`` engine adds its AWGN to the waveform tensor instead,
+        so its decodes are stamped ``noise_mode="none"``/version 0.
+        The stream actually used is recorded on
+        :attr:`NetworkMetrics.noise_mode` / ``noise_version``.
     """
 
     def __init__(
@@ -179,6 +212,7 @@ class NetworkSimulator:
         engine: str = "analytic",
         readout_dtype=None,
         fading_mode: str = "batched",
+        noise_mode: str = "payload",
     ) -> None:
         if engine not in ENGINES:
             raise ConfigurationError(
@@ -188,6 +222,11 @@ class NetworkSimulator:
             raise ConfigurationError(
                 "fading_mode must be 'batched' or 'per_round', "
                 f"got {fading_mode!r}"
+            )
+        if noise_mode not in NOISE_MODES:
+            raise ConfigurationError(
+                f"noise_mode must be one of {NOISE_MODES}, "
+                f"got {noise_mode!r}"
             )
         if config is None:
             # The deployment experiments run all 256 devices concurrently;
@@ -225,8 +264,10 @@ class NetworkSimulator:
         readout = {"analytic": "analytic", "auto": "auto"}.get(
             engine, "sparse"
         )
+        self._noise_mode = noise_mode
         self._receiver = NetScatterReceiver(
-            config, self._assignments, readout=readout
+            config, self._assignments, readout=readout,
+            noise_mode=noise_mode,
         )
 
     @property
@@ -485,6 +526,8 @@ class NetworkSimulator:
             n_devices=self._deployment.n_devices,
             airtime=airtime,
             backend=decode.backend,
+            noise_mode=decode.noise_mode,
+            noise_version=decode.noise_version,
         )
         for index, device in enumerate(self._deployment.devices):
             result.sent_bits[device.device_id] = payload[
@@ -539,6 +582,8 @@ class NetworkSimulator:
             bit_error_rate=ber,
             goodput_bits_per_round=goodput_bits_per_round,
             backend=decode.backend,
+            noise_mode=decode.noise_mode,
+            noise_version=decode.noise_version,
         )
 
 
@@ -553,6 +598,7 @@ def _run_sweep_point(args: tuple) -> NetworkMetrics:
         point_rng,
         engine,
         readout_dtype,
+        noise_mode,
     ) = args
     sim = NetworkSimulator(
         deployment.subset(count),
@@ -561,6 +607,7 @@ def _run_sweep_point(args: tuple) -> NetworkMetrics:
         rng=point_rng,
         engine=engine,
         readout_dtype=readout_dtype,
+        noise_mode=noise_mode,
     )
     return sim.run_rounds(n_rounds)
 
@@ -575,6 +622,7 @@ def sweep_device_counts(
     engine: str = "analytic",
     workers: Optional[int] = None,
     float32_min_devices: Optional[int] = None,
+    noise_mode: str = "payload",
 ) -> List[NetworkMetrics]:
     """Fig. 17-19 sweep: metrics at each device count.
 
@@ -599,10 +647,18 @@ def sweep_device_counts(
         ``"analytic"`` and ``"auto"`` engines (under ``"auto"`` only
         when the planner keeps the analytic backend); ignored by the
         time-domain engine.
+    noise_mode:
+        Engine-noise stream of every sweep point (default the
+        located-bin ``"payload"`` stream; ``"full"`` pins the
+        historical version-1 draws). See :class:`NetworkSimulator`.
     """
     if engine not in ENGINES:
         raise ConfigurationError(
             f"engine must be one of {ENGINES}, got {engine!r}"
+        )
+    if noise_mode not in NOISE_MODES:
+        raise ConfigurationError(
+            f"noise_mode must be one of {NOISE_MODES}, got {noise_mode!r}"
         )
     generator = make_rng(rng)
     jobs = []
@@ -624,6 +680,7 @@ def sweep_device_counts(
                 child_rng(generator, count),
                 engine,
                 dtype,
+                noise_mode,
             )
         )
     if workers is not None and int(workers) > 1:

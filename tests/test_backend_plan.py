@@ -35,7 +35,8 @@ from repro.phy.backend_plan import (
 
 #: The deployment operating point's readout shape (SF 9, zp 10, W = 13).
 def _workload(n_devices, n_samples=512, zp=10, window_width=13,
-              n_symbols=46, n_rounds=3, tone_input=True):
+              n_symbols=46, n_rounds=3, tone_input=True,
+              noise_mode=None, carry_width=False):
     return ReadoutWorkload(
         n_rounds=n_rounds,
         n_symbols=n_symbols,
@@ -45,6 +46,8 @@ def _workload(n_devices, n_samples=512, zp=10, window_width=13,
         window_bins=n_devices * window_width,
         probe_bins=min(n_samples, 512),
         tone_input=tone_input,
+        window_width=window_width if (noise_mode or carry_width) else 0,
+        noise_mode=noise_mode,
     )
 
 
@@ -326,3 +329,87 @@ class TestAutoEquivalence:
             receiver.decode_readout(bins, ones, bins, np.ones((1, 8, 2)))
         with pytest.raises(DecodingError):
             receiver.decode_rounds(np.zeros((1, 8, 512), dtype=complex))
+
+
+class TestNoiseCostModel:
+    """Engine-noise accounting in the cost model (PR-4).
+
+    The noise term follows the versioned stream layouts of
+    :mod:`repro.phy.noise` and is backend-common by construction — it
+    must scale the totals without ever flipping the selection.
+    """
+
+    def test_payload_cheaper_than_full_everywhere(self):
+        planner = BackendPlanner(DEFAULT_COEFFICIENTS)
+        for d in (1, 16, 64, 256):
+            full = planner.costs(_workload(d, noise_mode="full"))
+            payload = planner.costs(_workload(d, noise_mode="payload"))
+            for backend in full:
+                assert payload[backend] < full[backend]
+
+    def test_noise_term_is_backend_common(self):
+        """Pairwise cost gaps are mode-independent (selection-neutral)."""
+        planner = BackendPlanner(DEFAULT_COEFFICIENTS)
+        for d in (8, 64, 256):
+            baseline = planner.costs(_workload(d, carry_width=True))
+            for mode in ("full", "payload"):
+                noisy = planner.costs(_workload(d, noise_mode=mode))
+                gaps = {
+                    b: noisy[b] - baseline[b] for b in baseline
+                }
+                values = list(gaps.values())
+                assert all(
+                    abs(v - values[0]) < 1e-12 for v in values
+                ), gaps
+                assert values[0] > 0.0
+
+    def test_selection_unchanged_by_noise_mode(self):
+        planner = BackendPlanner(DEFAULT_COEFFICIENTS)
+        for d in (1, 32, 100, 145, 200, 256):
+            picks = {
+                planner.select(_workload(d, carry_width=True)),
+                planner.select(_workload(d, noise_mode="full")),
+                planner.select(_workload(d, noise_mode="payload")),
+            }
+            assert len(picks) == 1
+
+    def test_noise_validation(self):
+        planner = BackendPlanner(DEFAULT_COEFFICIENTS)
+        with pytest.raises(ConfigurationError):
+            planner.costs(_workload(8, noise_mode="bogus"))
+        with pytest.raises(ConfigurationError):
+            planner.costs(
+                _workload(8, window_width=0, noise_mode="payload")
+            )
+
+    def test_calibrate_measures_gauss_primitive(self):
+        coefficients = calibrate()
+        assert coefficients.gauss_elem_s > 0
+        assert np.isfinite(coefficients.gauss_elem_s)
+
+    def test_v1_schema_files_recalibrated(self, tmp_path):
+        """A five-primitive v1 calibration file is ignored, not guessed."""
+        path = tmp_path / "calibration.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": "repro-backend-plan-v1",
+                    "coefficients": {
+                        "real_mac_s": 1e-9,
+                        "cplx_mac_s": 1e-9,
+                        "fft_elem_s": 1e-9,
+                        "exp_elem_s": 1e-9,
+                        "ew_pass_s": 1e-9,
+                    },
+                }
+            )
+        )
+        assert _load_coefficients(path) is None
+
+    def test_persisted_schema_carries_gauss(self, tmp_path):
+        path = tmp_path / "calibration.json"
+        _persist_coefficients(path, DEFAULT_COEFFICIENTS)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro-backend-plan-v2"
+        assert "gauss_elem_s" in payload["coefficients"]
+        assert _load_coefficients(path) == DEFAULT_COEFFICIENTS

@@ -1,15 +1,27 @@
-"""Run the library's docstring examples as tests."""
+"""Run the library's docstring examples as tests.
+
+Every module listed here must carry at least one runnable example —
+the docs-consistency suite (``tests/test_docs_consistency.py``) keeps
+the list in sync with the documented hot-path modules, so the examples
+in the docs cannot silently rot.
+"""
 
 import doctest
 
 import pytest
 
+import repro.phy.backend_plan
+import repro.phy.noise
+import repro.phy.sparse_readout
 import repro.utils.bits
 import repro.utils.conversions
 
 MODULES_WITH_DOCTESTS = [
     repro.utils.conversions,
     repro.utils.bits,
+    repro.phy.sparse_readout,
+    repro.phy.backend_plan,
+    repro.phy.noise,
 ]
 
 

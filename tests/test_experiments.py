@@ -106,10 +106,14 @@ class TestAnalyticExperiments:
 
 class TestSimulationExperiments:
     def test_fig12_reduced(self):
+        # 2000 symbols (not 1500): the 45 dB degradation check compares
+        # two Monte-Carlo BER estimates, and at 1500 symbols its margin
+        # is seed-luck — the version-2 payload noise stream (same law,
+        # different draws) happened to land it just under threshold.
         result = fig12_nearfar_ber.run(
             snrs_db=(-16, -10),
             power_deltas_db=(None, 35.0, 45.0),
-            n_symbols=1500,
+            n_symbols=2000,
             rng=8,
         )
         assert result.all_checks_pass(), result.report()

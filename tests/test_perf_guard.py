@@ -89,10 +89,15 @@ def test_perf_smoke_quick_mode_within_budget(tmp_path):
         f"(budget {QUICK_BENCH_BUDGET_S}s)"
     )
     report = json.loads(output.read_text())
-    assert report["schema"] == "bench-fastpath-v2"
+    # The documented schema, via the same validator main() applies.
+    perf_smoke.validate_report(report)
     (run,) = report["runs"]
     assert run["quick"] is True
     point = run["fig17_point256"]
     assert point["speedup_auto"] > 0
     assert point["auto"]["backend"] in ("analytic", "sparse", "fft")
     assert "speedup_batched_vs_legacy" in run["fading"]
+    modes = run["noise_modes"]
+    assert modes["full"]["noise_version"] == 1
+    assert modes["payload"]["noise_version"] == 2
+    assert modes["speedup_payload_vs_full"] > 0
