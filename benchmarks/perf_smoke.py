@@ -23,8 +23,15 @@ wall-clock:
   ``noise_mode="payload"`` (located ``±1``-bin payload draws, stream
   version 2) vs ``noise_mode="full"`` (every readout bin, version 1 —
   the pre-PR-4 draws, pinned bit-identical by the regression goldens);
-* the Fig. 17/18/19 figure drivers end to end, and the vectorised
-  Section 2.2 Monte-Carlo block.
+* the campaign layer (``repro.campaign``) against a throwaway store:
+  a cold Fig. 17 campaign (every point computed + checkpointed), the
+  same campaign re-run warm (zero points recomputed — the validator
+  gates on this), and the Fig. 18 campaign over the same store (its
+  points are content-identical to Fig. 17's, so the cross-figure
+  reuse is total);
+* the Fig. 17/18/19 figure drivers end to end (the 17/18 drivers now
+  execute through the campaign runner), and the vectorised Section
+  2.2 Monte-Carlo block.
 
 Run from the repo root::
 
@@ -52,11 +59,19 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import shutil
+import tempfile
 import time
 from pathlib import Path
 
 import numpy as np
 
+from repro.campaign import (
+    CampaignRunner,
+    CampaignStore,
+    fig17_campaign,
+    fig18_campaign,
+)
 from repro.channel.awgn import awgn
 from repro.channel.deployment import paper_deployment
 from repro.core.config import NetScatterConfig
@@ -370,6 +385,53 @@ def _time_noise_modes(n_rounds: int = FADING_ROUNDS,
     return report
 
 
+def _time_campaign(
+    counts=(1, 64, 256), n_rounds: int = FIG17_ROUNDS
+) -> dict:
+    """Campaign layer: cold run vs warm re-run vs cross-figure reuse.
+
+    Cold populates a throwaway store point by point; warm re-runs the
+    identical spec (every point must load from the store — the report
+    validator gates ``points_computed == 0``); the Fig. 18 campaign
+    then runs over the same store, whose points are content-identical
+    to Fig. 17's, demonstrating the cross-figure cache.
+    """
+    root = Path(tempfile.mkdtemp(prefix="repro-campaign-bench-"))
+    try:
+        store = CampaignStore(root)
+        runner = CampaignRunner(store=store)
+        report: dict = {
+            "device_counts": list(counts),
+            "n_rounds": n_rounds,
+        }
+        spec17 = fig17_campaign(
+            rng=17, device_counts=counts, n_rounds=n_rounds
+        )
+        spec18 = fig18_campaign(
+            rng=17, device_counts=counts, n_rounds=n_rounds
+        )
+        for label, spec in (
+            ("cold", spec17),
+            ("warm_rerun", spec17),
+            ("fig18_reuse", spec18),
+        ):
+            start = time.perf_counter()
+            run = runner.run(spec)
+            report[label] = {
+                "wall_clock_s": round(time.perf_counter() - start, 4),
+                "points_computed": run.n_computed,
+                "points_cached": run.n_cached,
+            }
+        report["speedup_warm_vs_cold"] = round(
+            report["cold"]["wall_clock_s"]
+            / max(report["warm_rerun"]["wall_clock_s"], 1e-6),
+            2,
+        )
+        return report
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def _time_callable(fn, **kwargs) -> dict:
     start = time.perf_counter()
     fn(**kwargs)
@@ -386,8 +448,12 @@ def validate_report(report: dict) -> dict:
     ``timestamp`` + ``host``; every ``wall_clock_s`` anywhere in a run
     is a non-negative number and every ``speedup*`` key a positive
     number; ``noise_modes`` sections record both streams' versions and
-    their speedup ratio. Section-*presence* rules (a quick run must
-    carry ``fig17_point256`` + ``fading`` + ``noise_modes``) apply
+    their speedup ratio; ``campaign`` sections record the cold /
+    warm-rerun / cross-figure-reuse point counts, and the warm re-run
+    and the Fig. 18 reuse must have recomputed **zero** points (the
+    campaign layer's cache contract). Section-*presence* rules (a
+    quick run must carry ``fig17_point256`` + ``fading`` +
+    ``noise_modes`` + ``campaign``) apply
     only to the **newest** run — the one the current tool produced.
     The history is append-only and older runs were written by older
     section layouts; rejecting them would force hand-editing the
@@ -440,7 +506,12 @@ def validate_report(report: dict) -> dict:
             raise ValueError(f"{where}.host missing")
         walk(run, where)
         if run.get("quick") and index == len(runs) - 1:
-            for section in ("fig17_point256", "fading", "noise_modes"):
+            for section in (
+                "fig17_point256",
+                "fading",
+                "noise_modes",
+                "campaign",
+            ):
                 if section not in run:
                     raise ValueError(
                         f"{where} is a quick run but lacks {section!r}"
@@ -462,6 +533,30 @@ def validate_report(report: dict) -> dict:
                 raise ValueError(
                     f"{where}.noise_modes lacks speedup_payload_vs_full"
                 )
+        campaign = run.get("campaign")
+        if campaign is not None:
+            for section in ("cold", "warm_rerun", "fig18_reuse"):
+                entry = campaign.get(section)
+                if not isinstance(entry, dict):
+                    raise ValueError(
+                        f"{where}.campaign.{section} missing"
+                    )
+                for counter in ("points_computed", "points_cached"):
+                    if not is_number(entry.get(counter)):
+                        raise ValueError(
+                            f"{where}.campaign.{section}.{counter} "
+                            "must be a number"
+                        )
+            # The cache contract: a re-run over a populated store —
+            # same spec or the content-identical Fig. 18 one —
+            # recomputes nothing.
+            for section in ("warm_rerun", "fig18_reuse"):
+                if campaign[section]["points_computed"] != 0:
+                    raise ValueError(
+                        f"{where}.campaign.{section} recomputed "
+                        f"{campaign[section]['points_computed']} "
+                        "points; the store must serve them all"
+                    )
     return report
 
 
@@ -520,6 +615,7 @@ def main(quick: bool = False, output=None) -> dict:
         }
         run["fading"] = _time_fading(n_rounds=30, n_devices=32)
         run["noise_modes"] = _time_noise_modes(n_rounds=30, n_devices=32)
+        run["campaign"] = _time_campaign(counts=(1, 32), n_rounds=1)
     else:
         run["fig12"] = {
             "per_round_fft": _time_fig12_legacy(),
@@ -540,6 +636,7 @@ def main(quick: bool = False, output=None) -> dict:
         }
         run["fading"] = _time_fading()
         run["noise_modes"] = _time_noise_modes()
+        run["campaign"] = _time_campaign()
         run["figure_drivers"] = {
             "fig17": _time_callable(fig17_phy_rate.run, rng=17),
             "fig18": _time_callable(fig18_linklayer.run, rng=18),

@@ -8,8 +8,6 @@
   (the paper's single-FFT claim).
 """
 
-import time
-
 import numpy as np
 import pytest
 
@@ -68,7 +66,6 @@ def test_ablation_allocation(benchmark):
     """Power-aware allocation must beat SNR-blind allocation at equal
     dynamic range (the Section 3.2.3 design claim)."""
     config = NetScatterConfig(n_association_shifts=0)
-    rng = np.random.default_rng(41)
     snrs = np.linspace(0.0, 35.0, 128).tolist()
 
     def run():

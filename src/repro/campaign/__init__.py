@@ -1,0 +1,52 @@
+"""Campaign orchestration: declarative, sharded, resumable sweeps.
+
+The campaign layer turns the repo's Monte-Carlo figure sweeps into
+declarative, cacheable artifacts:
+
+* :mod:`repro.campaign.spec` — :class:`CampaignSpec` grids expanding
+  into content-hashable :class:`CampaignPoint` values (every random
+  ingredient an explicit seed);
+* :mod:`repro.campaign.store` — :class:`CampaignStore`, a per-point
+  JSON/npz chunk store keyed by content hash with a rebuildable
+  manifest (reruns skip completed points bit-for-bit);
+* :mod:`repro.campaign.runner` — :class:`CampaignRunner`, sharding
+  pending points over the network-sweep process-pool plumbing with
+  per-point checkpointing (kill-safe, resumable);
+* :mod:`repro.campaign.presets` — builtin specs matching the Fig.
+  17/18 drivers seed for seed;
+* ``python -m repro.campaign`` — ``run`` / ``status`` / ``export``.
+
+See the Campaign layer section of ``docs/ARCHITECTURE.md``.
+"""
+
+from repro.campaign.presets import (
+    PRESETS,
+    build_preset,
+    fig17_campaign,
+    fig18_campaign,
+    noise_grid_campaign,
+)
+from repro.campaign.runner import (
+    CampaignRun,
+    CampaignRunner,
+    execute_point,
+    run_campaign_sweep,
+)
+from repro.campaign.spec import CampaignPoint, CampaignSpec, derive_seeds
+from repro.campaign.store import CampaignStore
+
+__all__ = [
+    "CampaignPoint",
+    "CampaignRun",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CampaignStore",
+    "PRESETS",
+    "build_preset",
+    "derive_seeds",
+    "execute_point",
+    "fig17_campaign",
+    "fig18_campaign",
+    "noise_grid_campaign",
+    "run_campaign_sweep",
+]

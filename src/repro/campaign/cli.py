@@ -1,0 +1,224 @@
+"""``python -m repro.campaign`` — run / status / export.
+
+Usage::
+
+    # run a preset campaign into a persistent store (resumable:
+    # re-running skips every completed point via its content hash)
+    python -m repro.campaign run --spec fig17 --store runs/fig17 \\
+        --seed 0 --workers 4
+
+    # reduced grid, explicit axes
+    python -m repro.campaign run --spec noise-grid --store runs/grid \\
+        --counts 16,64 --rounds 2
+
+    # a spec saved as JSON (CampaignSpec.to_dict round-trip)
+    python -m repro.campaign run --spec runs/grid/spec.json --store ...
+
+    # what the store holds / the merged results table
+    python -m repro.campaign status --store runs/fig17
+    python -m repro.campaign export --store runs/fig17 --format csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.campaign.presets import PRESETS, build_preset
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CampaignStore
+from repro.errors import ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description=(
+            "Sharded, resumable, content-hash-cached experiment "
+            "campaigns over the NetScatter network simulator"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run a campaign (skipping already-stored points)"
+    )
+    run.add_argument(
+        "--spec",
+        required=True,
+        help=(
+            f"preset name ({', '.join(sorted(PRESETS))}) or a path to "
+            "a CampaignSpec JSON file"
+        ),
+    )
+    run.add_argument(
+        "--store",
+        required=True,
+        help="store directory (created if missing; reruns resume here)",
+    )
+    run.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="preset base seed (default 0; presets only)",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool request (serial on 1-CPU hosts)",
+    )
+    run.add_argument(
+        "--counts",
+        default=None,
+        help="comma-separated device counts overriding the preset grid",
+    )
+    run.add_argument(
+        "--rounds", type=int, default=None, help="rounds per point"
+    )
+    run.add_argument(
+        "--engine", default=None, help="engine override for presets"
+    )
+    run.add_argument(
+        "--save-spec",
+        action="store_true",
+        help="also write the expanded spec to <store>/spec.json",
+    )
+
+    status = sub.add_parser("status", help="summarise a store")
+    status.add_argument("--store", required=True)
+
+    export = sub.add_parser(
+        "export", help="merged per-point results table from a store"
+    )
+    export.add_argument("--store", required=True)
+    export.add_argument(
+        "--format", choices=("json", "csv"), default="json"
+    )
+    export.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write here instead of stdout",
+    )
+    return parser
+
+
+def _load_spec(args) -> CampaignSpec:
+    if args.spec in PRESETS:
+        kwargs = {"rng": args.seed if args.seed is not None else 0}
+        if args.counts is not None:
+            kwargs["device_counts"] = tuple(
+                int(c) for c in args.counts.split(",") if c.strip()
+            )
+        if args.rounds is not None:
+            kwargs["n_rounds"] = args.rounds
+        if args.engine is not None:
+            kwargs["engine"] = args.engine
+        return build_preset(args.spec, **kwargs)
+    # A JSON spec is already fully expanded (explicit seeds, counts,
+    # engines): the preset-only knobs cannot be applied to it, so
+    # refuse loudly instead of silently running the unmodified grid.
+    ignored = [
+        flag
+        for flag, value in (
+            ("--seed", args.seed),
+            ("--counts", args.counts),
+            ("--rounds", args.rounds),
+            ("--engine", args.engine),
+        )
+        if value is not None
+    ]
+    if ignored:
+        raise ReproError(
+            f"{', '.join(ignored)} only apply to preset specs; "
+            f"{args.spec!r} is a JSON spec file — edit the file (or "
+            "rebuild it from a preset) instead"
+        )
+    path = Path(args.spec)
+    if not path.exists():
+        raise ReproError(
+            f"--spec {args.spec!r} is neither a preset "
+            f"({', '.join(sorted(PRESETS))}) nor an existing JSON file"
+        )
+    return CampaignSpec.from_dict(json.loads(path.read_text()))
+
+
+def _cmd_run(args) -> int:
+    spec = _load_spec(args)
+    store = CampaignStore(args.store)
+    if args.save_spec:
+        (store.root / "spec.json").write_text(
+            json.dumps(spec.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+    runner = CampaignRunner(store=store, workers=args.workers)
+    started = time.perf_counter()
+    run = runner.run(spec)
+    elapsed = time.perf_counter() - started
+    print(
+        f"campaign {spec.name!r}: {len(run.results)} points "
+        f"({run.n_cached} cached, {run.n_computed} computed) "
+        f"in {elapsed:.2f}s -> {store.root}"
+    )
+    for result in run.results:
+        point = result.point
+        origin = "cache" if result.cached else "ran  "
+        print(
+            f"  [{origin}] D={point.n_devices:>4} "
+            f"engine={point.engine} noise={point.noise_mode} "
+            f"fading={int(point.fading)} "
+            f"backend={result.provenance.get('backend', '?')} "
+            f"phy={result.metrics.phy_rate_bps / 1e3:.1f}kbps"
+        )
+    return 0
+
+
+def _cmd_status(args) -> int:
+    status = CampaignStore(args.store).status()
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
+def _format_rows(rows, fmt: str) -> str:
+    if fmt == "json":
+        return json.dumps(rows, indent=2, sort_keys=True) + "\n"
+    columns: list = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns)
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def _cmd_export(args) -> int:
+    rows = CampaignStore(args.store).export_rows()
+    text = _format_rows(rows, args.format)
+    if args.output is not None:
+        args.output.write_text(text)
+        print(f"exported {len(rows)} points to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "status":
+        return _cmd_status(args)
+    return _cmd_export(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

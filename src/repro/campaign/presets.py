@@ -1,0 +1,171 @@
+"""Builtin campaign specs mirroring the paper's figure sweeps.
+
+Each preset derives its deployment/point seeds from the base RNG with
+*exactly* the figure driver's draw order (:func:`repro.campaign.spec.
+derive_seeds`), so a preset campaign computes bit-identical metrics to
+the corresponding direct driver run — and, because points are
+content-hashed, figures that share a sweep (Fig. 17 and Fig. 18 run
+the same PHY points) share store entries instead of recomputing them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.campaign.spec import CampaignSpec, derive_seeds
+from repro.constants import QUERY_BITS_CONFIG1
+from repro.errors import ReproError
+from repro.utils.rng import RngLike
+
+#: The Fig. 17/18 sweep grid — the single source: the figure drivers
+#: import it from here.
+DEFAULT_DEVICE_COUNTS = (1, 16, 32, 64, 96, 128, 160, 192, 224, 256)
+
+#: Full deployment every preset subsets (the paper's 256-device office).
+DEPLOYMENT_DEVICES = 256
+
+#: NetScatterConfig overrides shared by the sweep campaigns *and* the
+#: fig17/fig18 drivers (which build ``NetScatterConfig(**SWEEP_CONFIG)``
+#: from this same dict): the deployment experiments run every device
+#: concurrently, so no association shifts are reserved.
+SWEEP_CONFIG = {"n_association_shifts": 0}
+
+
+def _paper_deployment_descriptor(seed: int) -> Dict[str, object]:
+    return {
+        "kind": "paper",
+        "n_devices": DEPLOYMENT_DEVICES,
+        "seed": int(seed),
+    }
+
+
+def fig17_campaign(
+    rng: RngLike = None,
+    device_counts: Sequence[int] = DEFAULT_DEVICE_COUNTS,
+    n_rounds: int = 3,
+    engine: str = "auto",
+    noise_mode: str = "payload",
+    float32_min_devices: Optional[int] = None,
+    name: str = "fig17",
+) -> CampaignSpec:
+    """The Fig. 17 PHY-rate sweep as a campaign.
+
+    With the same base seed this reproduces ``fig17_phy_rate.run``'s
+    NetScatter metrics bit for bit (the driver itself routes through
+    this spec when given a default deployment).
+    """
+    deployment_seed, point_seeds = derive_seeds(rng, device_counts)
+    return CampaignSpec(
+        name=name,
+        description=(
+            "Network PHY rate vs concurrent devices "
+            "(Fig. 17 NetScatter sweep)"
+        ),
+        deployment=_paper_deployment_descriptor(deployment_seed),
+        config=SWEEP_CONFIG,
+        device_counts=tuple(device_counts),
+        point_seeds=point_seeds,
+        engines=(engine,),
+        noise_modes=(noise_mode,),
+        fading=(False,),
+        n_rounds=n_rounds,
+        query_bits=QUERY_BITS_CONFIG1,
+        float32_min_devices=float32_min_devices,
+    )
+
+
+def fig18_campaign(
+    rng: RngLike = None,
+    device_counts: Sequence[int] = DEFAULT_DEVICE_COUNTS,
+    n_rounds: int = 3,
+    engine: str = "auto",
+    noise_mode: str = "payload",
+    float32_min_devices: Optional[int] = None,
+) -> CampaignSpec:
+    """The Fig. 18 link-layer sweep as a campaign.
+
+    The PHY decode is query-length agnostic and Fig. 18 accounts both
+    query configs from the same per-round goodput, so its points are
+    *content-identical* to Fig. 17's under the same base seed — a store
+    populated by either figure serves the other without recomputing.
+    """
+    spec = fig17_campaign(
+        rng=rng,
+        device_counts=device_counts,
+        n_rounds=n_rounds,
+        engine=engine,
+        noise_mode=noise_mode,
+        float32_min_devices=float32_min_devices,
+        name="fig18",
+    )
+    return CampaignSpec.from_dict(
+        {
+            **spec.to_dict(),
+            "description": (
+                "Link-layer rate vs concurrent devices "
+                "(Fig. 18; shares its PHY points with fig17)"
+            ),
+        }
+    )
+
+
+def noise_grid_campaign(
+    rng: RngLike = None,
+    device_counts: Sequence[int] = (16, 64, 256),
+    n_rounds: int = 3,
+    engine: str = "auto",
+) -> CampaignSpec:
+    """Scenario-diversity grid: noise streams × fading × device count.
+
+    Four scenarios per count — both engine-noise streams (the located
+    ``±1``-bin payload stream and the historical full-bin stream) with
+    and without AR(1) shadow fading — paired on the same per-count
+    seeds, so the axis effects are directly comparable row to row.
+    """
+    deployment_seed, point_seeds = derive_seeds(rng, device_counts)
+    return CampaignSpec(
+        name="noise-grid",
+        description=(
+            "noise_mode x fading scenario grid over the paper "
+            "deployment (paired per-count seeds)"
+        ),
+        deployment=_paper_deployment_descriptor(deployment_seed),
+        config=SWEEP_CONFIG,
+        device_counts=tuple(device_counts),
+        point_seeds=point_seeds,
+        engines=(engine,),
+        noise_modes=("payload", "full"),
+        fading=(False, True),
+        n_rounds=n_rounds,
+        query_bits=QUERY_BITS_CONFIG1,
+    )
+
+
+#: Preset registry for the CLI (name → builder).
+PRESETS: Dict[str, Callable[..., CampaignSpec]] = {
+    "fig17": fig17_campaign,
+    "fig18": fig18_campaign,
+    "noise-grid": noise_grid_campaign,
+}
+
+
+def build_preset(name: str, **kwargs) -> CampaignSpec:
+    """Build a preset campaign by name (CLI entry)."""
+    if name not in PRESETS:
+        raise ReproError(
+            f"unknown campaign preset {name!r}; "
+            f"choose from {', '.join(sorted(PRESETS))}"
+        )
+    return PRESETS[name](**kwargs)
+
+
+__all__ = [
+    "DEFAULT_DEVICE_COUNTS",
+    "DEPLOYMENT_DEVICES",
+    "SWEEP_CONFIG",
+    "PRESETS",
+    "build_preset",
+    "fig17_campaign",
+    "fig18_campaign",
+    "noise_grid_campaign",
+]

@@ -1,0 +1,259 @@
+"""Sharded, resumable campaign execution.
+
+The runner walks a :class:`~repro.campaign.spec.CampaignSpec`, skips
+every point whose content hash is already present in the store, and
+fans the remaining points out over the same process-pool plumbing the
+network sweeps use (:func:`repro.protocol.network.resolve_pool_workers`
+— serial on 1-CPU hosts, no redundant pool). Each point is
+checkpointed to the store the moment it completes, so a killed run
+loses at most the points in flight; re-running the same spec loads the
+completed points bit-for-bit and computes only the remainder (pinned by
+``tests/test_campaign.py``).
+
+Every stored point carries the provenance the engines already stamp on
+their results — spectral ``backend``, ``noise_mode``/``noise_version``
+— plus the host backend-calibration schema, so a store can be audited
+long after the run: which physics produced each number is in the
+record, not in the operator's memory.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.campaign.spec import CampaignPoint, CampaignSpec
+from repro.campaign.store import CampaignStore
+from repro.channel.deployment import Deployment, paper_deployment
+from repro.core.config import NetScatterConfig
+from repro.errors import ConfigurationError
+from repro.protocol.network import (
+    NetworkMetrics,
+    NetworkSimulator,
+    resolve_pool_workers,
+)
+
+
+def build_deployment(descriptor: Dict[str, object]) -> Deployment:
+    """Rebuild the full deployment a point descriptor names."""
+    kind = descriptor.get("kind")
+    if kind == "paper":
+        return paper_deployment(
+            n_devices=int(descriptor["n_devices"]),
+            rng=int(descriptor["seed"]),
+        )
+    raise ConfigurationError(f"unknown deployment kind {kind!r}")
+
+
+def _calibration_schema() -> str:
+    """The backend-calibration schema in force (stored as provenance)."""
+    from repro.phy import backend_plan
+
+    return backend_plan._SCHEMA
+
+
+def execute_point(point: CampaignPoint) -> Tuple[Dict, Dict]:
+    """Run one campaign point; returns ``(metrics_dict, provenance)``.
+
+    Module-level (and taking only the picklable point) so process pools
+    can ship it. The construction mirrors ``_run_sweep_point`` exactly:
+    same deployment rebuild, same subset, same seeded generator — the
+    campaign tests pin bit-identical metrics against the direct
+    ``sweep_device_counts`` path.
+    """
+    deployment = build_deployment(dict(point.deployment))
+    config = NetScatterConfig(**dict(point.config))
+    dtype = np.complex64 if point.readout_dtype == "complex64" else None
+    simulator = NetworkSimulator(
+        deployment.subset(point.n_devices),
+        config=config,
+        query_bits=point.query_bits,
+        rng=np.random.default_rng(point.seed),
+        engine=point.engine,
+        readout_dtype=dtype,
+        noise_mode=point.noise_mode,
+    )
+    metrics = simulator.run_rounds(point.n_rounds, fading=point.fading)
+    provenance = {
+        "backend": metrics.backend,
+        "noise_mode": metrics.noise_mode,
+        "noise_version": metrics.noise_version,
+        "calibration_schema": _calibration_schema(),
+    }
+    return asdict(metrics), provenance
+
+
+def _execute_point_timed(
+    point: CampaignPoint,
+) -> Tuple[Dict, Dict, float]:
+    """Pool wrapper: time the execution inside the worker process."""
+    started = time.perf_counter()
+    metrics_dict, provenance = execute_point(point)
+    return metrics_dict, provenance, time.perf_counter() - started
+
+
+@dataclass
+class CampaignPointResult:
+    """One executed (or cache-served) point of a campaign run."""
+
+    point: CampaignPoint
+    metrics: NetworkMetrics
+    provenance: Dict[str, object]
+    cached: bool
+    elapsed_s: float
+
+
+@dataclass
+class CampaignRun:
+    """Outcome of :meth:`CampaignRunner.run`, in spec point order."""
+
+    spec: CampaignSpec
+    results: List[CampaignPointResult]
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for r in self.results if r.cached)
+
+    @property
+    def n_computed(self) -> int:
+        return sum(1 for r in self.results if not r.cached)
+
+    @property
+    def metrics(self) -> List[NetworkMetrics]:
+        return [r.metrics for r in self.results]
+
+
+class CampaignRunner:
+    """Run campaign specs against an optional persistent store.
+
+    Parameters
+    ----------
+    store:
+        A :class:`CampaignStore`, a path to create one at, or ``None``
+        for an ephemeral run (every point computed, nothing persisted).
+    workers:
+        Process-pool request for the *pending* points, resolved through
+        :func:`resolve_pool_workers` (``None``/1-CPU hosts → serial).
+    """
+
+    def __init__(
+        self,
+        store: Optional[CampaignStore] = None,
+        workers: Optional[int] = None,
+    ) -> None:
+        if store is not None and not isinstance(store, CampaignStore):
+            store = CampaignStore(store)
+        self._store = store
+        self._workers = workers
+
+    @property
+    def store(self) -> Optional[CampaignStore]:
+        return self._store
+
+    def run(self, spec: CampaignSpec) -> CampaignRun:
+        """Execute ``spec``: cached points load, pending points run.
+
+        Pending points are executed in shards over the process pool and
+        checkpointed to the store as each one completes (completion
+        order), then the full result list is assembled in spec order —
+        so the returned metrics are independent of pool scheduling and
+        a killed run resumes from whatever finished.
+        """
+        points = list(spec.points())
+        pending: List[Tuple[int, CampaignPoint]] = []
+        cached_payloads: Dict[int, Dict] = {}
+        for index, point in enumerate(points):
+            if self._store is not None and self._store.has(point):
+                cached_payloads[index] = self._store.load(point)
+            else:
+                pending.append((index, point))
+
+        computed: Dict[int, Tuple[Dict, Dict, float]] = {}
+        pool_workers = resolve_pool_workers(self._workers)
+        if pool_workers and len(pending) > 1:
+            with ProcessPoolExecutor(max_workers=pool_workers) as pool:
+                futures = {
+                    pool.submit(_execute_point_timed, point): (index, point)
+                    for index, point in pending
+                }
+                for future in as_completed(futures):
+                    index, point = futures[future]
+                    metrics_dict, provenance, elapsed = future.result()
+                    computed[index] = (metrics_dict, provenance, elapsed)
+                    self._checkpoint(
+                        point, metrics_dict, provenance, elapsed
+                    )
+        else:
+            for index, point in pending:
+                started = time.perf_counter()
+                metrics_dict, provenance = execute_point(point)
+                elapsed = time.perf_counter() - started
+                computed[index] = (metrics_dict, provenance, elapsed)
+                self._checkpoint(point, metrics_dict, provenance, elapsed)
+
+        results: List[CampaignPointResult] = []
+        for index, point in enumerate(points):
+            if index in cached_payloads:
+                payload = cached_payloads[index]
+                results.append(
+                    CampaignPointResult(
+                        point=point,
+                        metrics=NetworkMetrics(**payload["metrics"]),
+                        provenance=dict(payload["provenance"]),
+                        cached=True,
+                        elapsed_s=0.0,
+                    )
+                )
+            else:
+                metrics_dict, provenance, elapsed = computed[index]
+                results.append(
+                    CampaignPointResult(
+                        point=point,
+                        metrics=NetworkMetrics(**metrics_dict),
+                        provenance=provenance,
+                        cached=False,
+                        elapsed_s=elapsed,
+                    )
+                )
+        return CampaignRun(spec=spec, results=results)
+
+    def _checkpoint(
+        self,
+        point: CampaignPoint,
+        metrics_dict: Dict,
+        provenance: Dict,
+        elapsed_s: float,
+    ) -> None:
+        if self._store is not None:
+            self._store.save(
+                point, metrics_dict, provenance, elapsed_s=elapsed_s
+            )
+
+
+def run_campaign_sweep(
+    spec: CampaignSpec,
+    store=None,
+    workers: Optional[int] = None,
+) -> List[NetworkMetrics]:
+    """Convenience for drivers: run ``spec``, return metrics in order.
+
+    This is the figure drivers' entry point into the campaign layer —
+    same return shape as :func:`repro.protocol.network.
+    sweep_device_counts`, with completed points served from ``store``
+    when one is given (so e.g. Fig. 18 reuses Fig. 17's points).
+    """
+    return CampaignRunner(store=store, workers=workers).run(spec).metrics
+
+
+__all__ = [
+    "CampaignPointResult",
+    "CampaignRun",
+    "CampaignRunner",
+    "build_deployment",
+    "execute_point",
+    "run_campaign_sweep",
+]

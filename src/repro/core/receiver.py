@@ -26,7 +26,6 @@ from repro.errors import DecodingError
 from repro.phy.demodulation import DechirpResult, Demodulator
 from repro.phy.noise import (
     NOISE_MODES,
-    NOISE_STREAM_VERSIONS,
     NoiseStream,
     covariance_factor,
     estimate_noise_floor,

@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from repro.channel.awgn import awgn
 from repro.core.allocation import association_shifts
 from repro.core.config import NetScatterConfig

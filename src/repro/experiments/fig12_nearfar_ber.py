@@ -9,7 +9,7 @@ dynamic-range claim behind the allocation design.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

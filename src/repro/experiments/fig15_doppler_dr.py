@@ -10,7 +10,7 @@ distance, rising to ~35 dB mid-spectrum, symmetric about the centre.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

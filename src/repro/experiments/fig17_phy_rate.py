@@ -19,13 +19,17 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.baselines.lora_backscatter import LoRaBackscatterNetwork
+from repro.campaign.presets import (
+    DEFAULT_DEVICE_COUNTS,
+    SWEEP_CONFIG,
+    fig17_campaign,
+)
+from repro.campaign.runner import run_campaign_sweep
 from repro.channel.deployment import Deployment, paper_deployment
 from repro.core.config import NetScatterConfig
 from repro.experiments.common import ExperimentResult
 from repro.protocol.network import sweep_device_counts
-from repro.utils.rng import RngLike, child_rng, make_rng
-
-DEFAULT_DEVICE_COUNTS = (1, 16, 32, 64, 96, 128, 160, 192, 224, 256)
+from repro.utils.rng import RngLike, make_rng
 
 PAPER_GAIN_OVER_FIXED = 26.2
 PAPER_GAIN_OVER_RA = 6.8
@@ -39,23 +43,52 @@ def run(
     engine: str = "auto",
     workers: Optional[int] = None,
     float32_min_devices: Optional[int] = None,
+    store=None,
 ) -> ExperimentResult:
     """Sweep device counts and tabulate all four schemes' PHY rates.
 
-    The NetScatter points run as one cross-point batch through
-    :func:`sweep_device_counts` under the occupancy-adaptive ``"auto"``
-    engine by default — the calibrated backend planner keeps small
-    counts on the analytic Dirichlet-kernel path and moves the
-    near-full-occupancy points (the 224/256-device tail, where
-    ``D ~ N/2``) onto the padded FFT, with bit-identical decisions.
+    The NetScatter points execute through the campaign layer
+    (:func:`repro.campaign.runner.run_campaign_sweep` over
+    :func:`repro.campaign.presets.fig17_campaign`) under the
+    occupancy-adaptive ``"auto"`` engine by default — the calibrated
+    backend planner keeps small counts on the analytic
+    Dirichlet-kernel path and moves the near-full-occupancy points
+    (the 224/256-device tail, where ``D ~ N/2``) onto the padded FFT,
+    with bit-identical decisions. Pass a ``store``
+    (:class:`repro.campaign.store.CampaignStore` or a path) to persist
+    every point and reuse completed ones across runs *and figures* —
+    Fig. 18's sweep shares these exact points. Campaign metrics are
+    bit-identical to the direct :func:`sweep_device_counts` path
+    (pinned by ``tests/test_campaign.py``), which still serves
+    explicitly-passed custom deployments (those are not
+    content-addressable, so ``store`` is ignored for them).
     Pass ``engine="analytic"`` to pin the closed-form path, or
     ``engine="time"`` with ``workers=`` for the reference time-domain
     path in a process pool.
     """
     generator = make_rng(rng)
+    config = NetScatterConfig(**SWEEP_CONFIG)
     if deployment is None:
-        deployment = paper_deployment(rng=child_rng(generator, 0))
-    config = NetScatterConfig(n_association_shifts=0)
+        spec = fig17_campaign(
+            rng=generator,
+            device_counts=device_counts,
+            n_rounds=n_rounds,
+            engine=engine,
+            float32_min_devices=float32_min_devices,
+        )
+        deployment = paper_deployment(rng=spec.deployment["seed"])
+        sweep = run_campaign_sweep(spec, store=store, workers=workers)
+    else:
+        sweep = sweep_device_counts(
+            deployment,
+            device_counts,
+            config=config,
+            n_rounds=n_rounds,
+            rng=generator,
+            engine=engine,
+            workers=workers,
+            float32_min_devices=float32_min_devices,
+        )
 
     result = ExperimentResult(
         experiment_id="fig17",
@@ -67,16 +100,6 @@ def run(
             "netscatter_ideal_kbps",
             "netscatter_kbps",
         ],
-    )
-    sweep = sweep_device_counts(
-        deployment,
-        device_counts,
-        config=config,
-        n_rounds=n_rounds,
-        rng=generator,
-        engine=engine,
-        workers=workers,
-        float32_min_devices=float32_min_devices,
     )
     netscatter_rates = []
     for count, metrics in zip(device_counts, sweep):

@@ -14,15 +14,19 @@ from typing import Dict, Optional, Sequence
 
 from repro.analysis.airtime import netscatter_round_airtime_s
 from repro.baselines.lora_backscatter import LoRaBackscatterNetwork
+from repro.campaign.presets import (
+    DEFAULT_DEVICE_COUNTS,
+    SWEEP_CONFIG,
+    fig18_campaign,
+)
+from repro.campaign.runner import run_campaign_sweep
 from repro.channel.deployment import Deployment, paper_deployment
 from repro.constants import QUERY_BITS_CONFIG1, QUERY_BITS_CONFIG2
 from repro.core.config import NetScatterConfig
 from repro.experiments.common import ExperimentResult
 from repro.phy.packet import PacketStructure
 from repro.protocol.network import sweep_device_counts
-from repro.utils.rng import RngLike, child_rng, make_rng
-
-DEFAULT_DEVICE_COUNTS = (1, 16, 32, 64, 96, 128, 160, 192, 224, 256)
+from repro.utils.rng import RngLike, make_rng
 
 PAPER_GAINS = {
     ("config1", "fixed"): 61.9,
@@ -40,6 +44,7 @@ def run(
     engine: str = "auto",
     workers: Optional[int] = None,
     float32_min_devices: Optional[int] = None,
+    store=None,
 ) -> ExperimentResult:
     """Sweep device counts; tabulate link-layer rates for all schemes.
 
@@ -48,12 +53,37 @@ def run(
     default, which shifts the near-full-occupancy tail onto the padded
     FFT) and both NetScatter configurations are accounted from the same
     per-round goodput — the config-2 rate just divides by its
-    longer-query round air time.
+    longer-query round air time. The points execute through the
+    campaign layer (:func:`repro.campaign.presets.fig18_campaign`) and
+    are *content-identical* to Fig. 17's under the same base seed, so
+    passing the same ``store`` to both drivers computes the shared
+    sweep once. Explicitly-passed custom deployments keep the direct
+    :func:`sweep_device_counts` path (``store`` ignored).
     """
     generator = make_rng(rng)
+    config = NetScatterConfig(**SWEEP_CONFIG)
     if deployment is None:
-        deployment = paper_deployment(rng=child_rng(generator, 0))
-    config = NetScatterConfig(n_association_shifts=0)
+        spec = fig18_campaign(
+            rng=generator,
+            device_counts=device_counts,
+            n_rounds=n_rounds,
+            engine=engine,
+            float32_min_devices=float32_min_devices,
+        )
+        deployment = paper_deployment(rng=spec.deployment["seed"])
+        sweep = run_campaign_sweep(spec, store=store, workers=workers)
+    else:
+        sweep = sweep_device_counts(
+            deployment,
+            device_counts,
+            config=config,
+            n_rounds=n_rounds,
+            query_bits=QUERY_BITS_CONFIG1,
+            rng=generator,
+            engine=engine,
+            workers=workers,
+            float32_min_devices=float32_min_devices,
+        )
 
     result = ExperimentResult(
         experiment_id="fig18",
@@ -65,17 +95,6 @@ def run(
             "netscatter_cfg1_kbps",
             "netscatter_cfg2_kbps",
         ],
-    )
-    sweep = sweep_device_counts(
-        deployment,
-        device_counts,
-        config=config,
-        n_rounds=n_rounds,
-        query_bits=QUERY_BITS_CONFIG1,
-        rng=generator,
-        engine=engine,
-        workers=workers,
-        float32_min_devices=float32_min_devices,
     )
     cfg2_airtime = netscatter_round_airtime_s(
         config, QUERY_BITS_CONFIG2, PacketStructure()

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.core.config import TABLE1_CONFIGS, NetScatterConfig
+from repro.core.config import TABLE1_CONFIGS
 from repro.experiments.common import ExperimentResult
 
 # The paper's printed rows: (BW kHz, SF) -> (dt us, df Hz, bps, dBm).

@@ -9,17 +9,14 @@ with any pending grants or reassignments piggybacked.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.core.config import NetScatterConfig
 from repro.core.receiver import NetScatterReceiver
 from repro.errors import AssociationError, ProtocolError
 from repro.protocol.association import AssociationController
-from repro.protocol.messages import (
-    AssociationResponse,
-    QueryMessage,
-)
+from repro.protocol.messages import QueryMessage
 from repro.protocol.scheduler import GroupScheduler
 
 

@@ -11,7 +11,7 @@ the Association ACK in the granted shift.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.allocation import AllocationTable, association_shifts

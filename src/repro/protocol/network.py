@@ -49,6 +49,7 @@ benchmarking and statistical-equivalence tests.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -587,6 +588,34 @@ class NetworkSimulator:
         )
 
 
+def resolve_pool_workers(workers: Optional[int]) -> int:
+    """Effective process-pool size for a ``workers=`` request.
+
+    Returns the number of pool workers to actually spawn, where ``0``
+    means "run serially in this process, no pool at all". The pinned
+    rules (regression-tested in ``tests/test_campaign.py``):
+
+    * ``None``, ``0`` or ``1`` → serial (a 1-worker pool only adds
+      pickling overhead);
+    * any request on a 1-CPU host → serial — a pool cannot run points
+      concurrently there, so spawning one would pay process start-up
+      and pickling for nothing;
+    * otherwise the request is honoured as given (deliberate
+      oversubscription stays possible on multi-core hosts).
+
+    Results never depend on the outcome: every sweep/campaign point
+    owns a pre-derived seed, so serial and pooled runs are identical.
+    """
+    if workers is None:
+        return 0
+    requested = int(workers)
+    if requested <= 1:
+        return 0
+    if (os.cpu_count() or 1) <= 1:
+        return 0
+    return requested
+
+
 def _run_sweep_point(args: tuple) -> NetworkMetrics:
     """One sweep point, module-level so process pools can pickle it."""
     (
@@ -639,7 +668,10 @@ def sweep_device_counts(
         When > 1, run sweep points in an opt-in process pool — intended
         for the remaining *time-domain* experiments whose per-point cost
         is dominated by tensor composition. Results are identical to the
-        serial run (each point owns a pre-derived child generator).
+        serial run (each point owns a pre-derived child generator). On
+        a 1-CPU host the request falls back to serial execution without
+        spawning the (redundant) pool — see :func:`resolve_pool_workers`
+        for the pinned rules.
     float32_min_devices:
         When set, points with at least that many devices use
         ``numpy.complex64`` analytic operators (e.g. ``256`` to halve
@@ -683,7 +715,8 @@ def sweep_device_counts(
                 noise_mode,
             )
         )
-    if workers is not None and int(workers) > 1:
-        with ProcessPoolExecutor(max_workers=int(workers)) as pool:
+    pool_workers = resolve_pool_workers(workers)
+    if pool_workers:
+        with ProcessPoolExecutor(max_workers=pool_workers) as pool:
             return list(pool.map(_run_sweep_point, jobs))
     return [_run_sweep_point(job) for job in jobs]

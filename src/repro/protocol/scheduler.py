@@ -8,8 +8,8 @@ honouring each device's duty cycle learned at association.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.core.power_control import snr_groups
 from repro.errors import ProtocolError

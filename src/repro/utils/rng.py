@@ -27,15 +27,30 @@ def make_rng(seed: RngLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def child_seed(rng: np.random.Generator, index: int) -> int:
+    """Derive an independent child *seed* (a plain int) from ``rng``.
+
+    The integer form of :func:`child_rng`: consuming one draw from
+    ``rng``, it returns the exact seed that ``child_rng`` would have
+    handed to ``numpy.random.default_rng``. Because the seed is a plain
+    int it can be stored, hashed and shipped across processes — the
+    campaign layer persists it on every sweep point so a stored result
+    is reproducible (and content-addressable) from its record alone.
+    """
+    return int(rng.integers(0, 2**63 - 1)) ^ (
+        index * 0x9E3779B97F4A7C15 & (2**63 - 1)
+    )
+
+
 def child_rng(rng: np.random.Generator, index: int) -> np.random.Generator:
     """Derive an independent child stream from ``rng``.
 
     Used when a simulation fans out over many devices: each device gets its
     own deterministic stream so adding a device does not perturb the noise
-    seen by the others.
+    seen by the others. Equivalent to seeding a fresh generator with
+    :func:`child_seed` — the two stay interchangeable by construction.
     """
-    seed = int(rng.integers(0, 2**63 - 1)) ^ (index * 0x9E3779B97F4A7C15 & (2**63 - 1))
-    return np.random.default_rng(seed)
+    return np.random.default_rng(child_seed(rng, index))
 
 
 def spawn_rngs(seed: RngLike, count: int) -> list:

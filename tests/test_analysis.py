@@ -20,9 +20,7 @@ from repro.analysis.metrics import (
 )
 from repro.analysis.reports import format_comparison, format_series, format_table
 from repro.constants import QUERY_BITS_CONFIG1, QUERY_BITS_CONFIG2
-from repro.core.config import NetScatterConfig
 from repro.errors import ConfigurationError, ReproError
-from repro.phy.chirp import ChirpParams
 
 
 class TestNetScatterAirtime:

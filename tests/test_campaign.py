@@ -1,0 +1,666 @@
+"""Campaign layer: specs, store, runner, CLI, resumability, pools.
+
+The load-bearing pins:
+
+* campaign metrics are **bit-identical** to the direct
+  ``sweep_device_counts`` / figure-driver path (same seeds, same draw
+  order);
+* a re-run over an already-populated store recomputes **zero** points
+  and serves stored results bit-for-bit;
+* a run killed mid-campaign resumes: completed points load from the
+  store, only the remainder computes, and the merged manifest matches
+  a fresh single-shot run's;
+* ``workers=`` requests on a 1-CPU host fall back to serial without
+  spawning a redundant process pool (for both the network sweeps and
+  the campaign runner).
+"""
+
+import json
+import os
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+import repro.campaign.runner as campaign_runner
+from repro.campaign.cli import main as campaign_cli
+from repro.campaign.presets import (
+    build_preset,
+    fig17_campaign,
+    fig18_campaign,
+    noise_grid_campaign,
+)
+from repro.campaign.runner import CampaignRunner, run_campaign_sweep
+from repro.campaign.spec import CampaignPoint, CampaignSpec, derive_seeds
+from repro.campaign.store import CampaignStore
+from repro.channel.deployment import paper_deployment
+from repro.core.config import NetScatterConfig
+from repro.errors import ConfigurationError, ReproError
+from repro.experiments import fig17_phy_rate, fig18_linklayer
+from repro.protocol.network import (
+    resolve_pool_workers,
+    sweep_device_counts,
+)
+from repro.utils.rng import child_rng, child_seed, make_rng
+
+COUNTS = (1, 16)
+ROUNDS = 1
+
+
+def small_spec(**overrides):
+    kwargs = dict(
+        rng=0, device_counts=COUNTS, n_rounds=ROUNDS, engine="analytic"
+    )
+    kwargs.update(overrides)
+    return fig17_campaign(**kwargs)
+
+
+def make_point(**overrides):
+    kwargs = dict(
+        deployment={"kind": "paper", "n_devices": 16, "seed": 7},
+        config={"n_association_shifts": 0},
+        n_devices=8,
+        n_rounds=1,
+        query_bits=32,
+        engine="analytic",
+        noise_mode="payload",
+        fading=False,
+        readout_dtype=None,
+        seed=1234,
+    )
+    kwargs.update(overrides)
+    return CampaignPoint(**kwargs)
+
+
+class TestChildSeed:
+    def test_child_rng_equals_seeded_child_seed(self):
+        a, b = make_rng(42), make_rng(42)
+        direct = child_rng(a, 5)
+        via_seed = np.random.default_rng(child_seed(b, 5))
+        assert np.array_equal(
+            direct.integers(0, 1 << 30, size=8),
+            via_seed.integers(0, 1 << 30, size=8),
+        )
+
+    def test_derive_seeds_matches_driver_draw_order(self):
+        # fig17.run: child at index 0 for the deployment, then one
+        # child per count inside sweep_device_counts, in sweep order.
+        reference = make_rng(3)
+        expected_dep = child_seed(reference, 0)
+        expected_points = tuple(
+            child_seed(reference, c) for c in (1, 16, 64)
+        )
+        dep, points = derive_seeds(3, (1, 16, 64))
+        assert dep == expected_dep
+        assert points == expected_points
+
+
+class TestCampaignPoint:
+    def test_hash_is_deterministic(self):
+        assert (
+            make_point().content_hash() == make_point().content_hash()
+        )
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"seed": 1235},
+            {"n_devices": 4},
+            {"n_rounds": 2},
+            {"query_bits": 1760},
+            {"engine": "auto"},
+            {"noise_mode": "full"},
+            {"fading": True},
+            {"readout_dtype": "complex64"},
+            {"deployment": {"kind": "paper", "n_devices": 16, "seed": 8}},
+            {"config": {"n_association_shifts": 4}},
+        ],
+    )
+    def test_every_axis_moves_the_hash(self, override):
+        assert (
+            make_point(**override).content_hash()
+            != make_point().content_hash()
+        )
+
+    def test_round_trips_through_dict(self):
+        point = make_point()
+        clone = CampaignPoint.from_dict(
+            json.loads(json.dumps(point.to_dict()))
+        )
+        assert clone == point
+        assert clone.content_hash() == point.content_hash()
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"engine": "warp"},
+            {"noise_mode": "extra"},
+            {"readout_dtype": "float16"},
+            {"deployment": {"kind": "mars", "n_devices": 16, "seed": 1}},
+            {"n_devices": 17},  # larger than the deployment
+            {"n_rounds": 0},
+        ],
+    )
+    def test_invalid_points_are_rejected(self, override):
+        with pytest.raises(ConfigurationError):
+            make_point(**override)
+
+
+class TestCampaignSpec:
+    def test_grid_expansion_order_and_size(self):
+        spec = noise_grid_campaign(rng=1, device_counts=(4, 8), n_rounds=1)
+        points = list(spec.points())
+        assert len(points) == spec.n_points == 2 * 2 * 2
+        # counts innermost, fading next, noise modes outermost axis
+        assert [
+            (p.noise_mode, p.fading, p.n_devices) for p in points
+        ] == [
+            ("payload", False, 4),
+            ("payload", False, 8),
+            ("payload", True, 4),
+            ("payload", True, 8),
+            ("full", False, 4),
+            ("full", False, 8),
+            ("full", True, 4),
+            ("full", True, 8),
+        ]
+
+    def test_seeds_paired_across_axes(self):
+        spec = noise_grid_campaign(rng=1, device_counts=(4, 8), n_rounds=1)
+        seeds = {}
+        for point in spec.points():
+            seeds.setdefault(point.n_devices, set()).add(point.seed)
+        assert all(len(s) == 1 for s in seeds.values())
+
+    def test_float32_threshold_sets_dtype(self):
+        spec = fig17_campaign(
+            rng=0,
+            device_counts=(1, 16),
+            n_rounds=1,
+            float32_min_devices=16,
+        )
+        dtypes = {p.n_devices: p.readout_dtype for p in spec.points()}
+        assert dtypes == {1: None, 16: "complex64"}
+
+    def test_round_trips_through_json(self):
+        spec = small_spec()
+        clone = CampaignSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        )
+        assert list(clone.points()) == list(spec.points())
+
+    def test_seed_count_mismatch_rejected(self):
+        spec = small_spec()
+        with pytest.raises(ConfigurationError):
+            CampaignSpec.from_dict(
+                {**spec.to_dict(), "point_seeds": spec.point_seeds[:-1]}
+            )
+
+    def test_fig18_points_are_content_identical_to_fig17(self):
+        fig17 = fig17_campaign(rng=0, device_counts=COUNTS, n_rounds=1)
+        fig18 = fig18_campaign(rng=0, device_counts=COUNTS, n_rounds=1)
+        assert [p.content_hash() for p in fig17.points()] == [
+            p.content_hash() for p in fig18.points()
+        ]
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ReproError):
+            build_preset("fig99")
+
+
+class TestCampaignStore:
+    def test_save_load_round_trip_is_bit_exact(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        point = make_point()
+        metrics = {"phy_rate_bps": 0.1 + 0.2, "delivery_ratio": 1.0}
+        store.save(point, metrics, {"backend": "analytic"})
+        loaded = store.load(point)
+        assert loaded["metrics"] == metrics  # exact float round trip
+        assert loaded["provenance"]["backend"] == "analytic"
+        assert store.has(point)
+        assert not store.has(replace(point, seed=1))
+
+    def test_array_chunks_round_trip(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        point = make_point()
+        arrays = {"goodput": np.arange(6.0).reshape(2, 3)}
+        store.save(point, {"m": 1.0}, {}, arrays=arrays)
+        loaded = store.load(point)
+        assert np.array_equal(loaded["arrays"]["goodput"], arrays["goodput"])
+
+    def test_missing_point_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            CampaignStore(tmp_path).load(make_point())
+
+    def test_manifest_heals_after_lost_update(self, tmp_path):
+        """Checkpointing never touches the manifest; a stale or deleted
+        index is re-derived from the chunks whenever consulted."""
+        store = CampaignStore(tmp_path)
+        store.save(make_point(), {"m": 1.0}, {"backend": "analytic"})
+        manifest = store.manifest()  # materialises the index
+        assert len(manifest["points"]) == 1
+        # A later checkpoint leaves the persisted index stale (O(1)
+        # saves)…
+        store.save(make_point(seed=9), {"m": 2.0}, {"backend": "fft"})
+        assert len(store.manifest()["points"]) == 2  # …healed on read
+        (tmp_path / "manifest.json").unlink()  # the index is lost…
+        manifest = store.manifest()  # …and rebuilt from the chunks
+        assert len(manifest["points"]) == 2
+        fresh = CampaignStore(tmp_path).manifest()
+        assert fresh == manifest
+
+    def test_manifest_drops_deleted_chunks(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        point = make_point()
+        chunk = store.save(point, {"m": 1.0}, {})
+        assert len(store.manifest()["points"]) == 1
+        chunk.unlink()
+        assert store.manifest()["points"] == {}
+
+    def test_export_rows_are_sorted_and_merged(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.save(
+            make_point(n_devices=8),
+            {"phy_rate_bps": 2.0},
+            {"backend": "fft"},
+        )
+        store.save(
+            make_point(n_devices=2),
+            {"phy_rate_bps": 1.0},
+            {"backend": "analytic"},
+        )
+        rows = store.export_rows()
+        assert [r["n_devices"] for r in rows] == [2, 8]
+        assert rows[0]["backend"] == "analytic"
+        assert rows[0]["phy_rate_bps"] == 1.0
+
+
+class TestRunnerEquivalence:
+    def test_campaign_equals_direct_sweep_bit_for_bit(self):
+        generator = make_rng(0)
+        deployment = paper_deployment(rng=child_rng(generator, 0))
+        direct = sweep_device_counts(
+            deployment,
+            COUNTS,
+            config=NetScatterConfig(n_association_shifts=0),
+            n_rounds=ROUNDS,
+            rng=generator,
+            engine="analytic",
+        )
+        campaign = run_campaign_sweep(small_spec())
+        assert campaign == direct
+
+    def test_store_backed_rerun_recomputes_zero_points(self, tmp_path):
+        spec = small_spec()
+        runner = CampaignRunner(store=tmp_path)
+        first = runner.run(spec)
+        assert (first.n_computed, first.n_cached) == (len(COUNTS), 0)
+        second = runner.run(spec)
+        assert (second.n_computed, second.n_cached) == (0, len(COUNTS))
+        assert second.metrics == first.metrics  # served bit-for-bit
+
+    def test_fig17_driver_rows_identical_with_and_without_store(
+        self, tmp_path
+    ):
+        with_store = fig17_phy_rate.run(
+            rng=0, device_counts=COUNTS, n_rounds=ROUNDS, store=tmp_path
+        )
+        plain = fig17_phy_rate.run(
+            rng=0, device_counts=COUNTS, n_rounds=ROUNDS
+        )
+        assert with_store.rows == plain.rows
+
+    def test_fig18_reuses_fig17_store_entirely(self, tmp_path):
+        fig17_phy_rate.run(
+            rng=0, device_counts=COUNTS, n_rounds=ROUNDS, store=tmp_path
+        )
+        store = CampaignStore(tmp_path)
+        assert len(store) == len(COUNTS)
+        calls = []
+        original = campaign_runner.execute_point
+
+        def counting(point):
+            calls.append(point)
+            return original(point)
+
+        campaign_runner.execute_point = counting
+        try:
+            result = fig18_linklayer.run(
+                rng=0,
+                device_counts=COUNTS,
+                n_rounds=ROUNDS,
+                store=tmp_path,
+            )
+        finally:
+            campaign_runner.execute_point = original
+        assert calls == []  # every fig18 point served from fig17's run
+        assert len(store) == len(COUNTS)  # nothing new stored
+        plain = fig18_linklayer.run(
+            rng=0, device_counts=COUNTS, n_rounds=ROUNDS
+        )
+        assert result.rows == plain.rows
+
+    def test_provenance_is_stamped_on_stored_points(self, tmp_path):
+        runner = CampaignRunner(store=tmp_path)
+        runner.run(small_spec())
+        for row in CampaignStore(tmp_path).export_rows():
+            assert row["backend"] == "analytic"
+            assert row["noise_mode"] == "payload"
+            assert row["noise_version"] == 2
+            assert row["calibration_schema"].startswith(
+                "repro-backend-plan"
+            )
+
+
+class TestResumability:
+    def test_killed_run_resumes_and_matches_single_shot(
+        self, tmp_path, monkeypatch
+    ):
+        """Kill after the first point; the re-run must load it from the
+        store, compute only the rest, and end bit-identical (manifest
+        and metrics) to a fresh single-shot campaign."""
+        spec = small_spec()
+        original = campaign_runner.execute_point
+
+        calls = {"n": 0}
+
+        def dying(point):
+            if calls["n"] >= 1:
+                raise KeyboardInterrupt("simulated mid-campaign kill")
+            calls["n"] += 1
+            return original(point)
+
+        resumed_dir = tmp_path / "resumed"
+        monkeypatch.setattr(campaign_runner, "execute_point", dying)
+        with pytest.raises(KeyboardInterrupt):
+            CampaignRunner(store=resumed_dir).run(spec)
+        monkeypatch.setattr(campaign_runner, "execute_point", original)
+
+        survivor = CampaignStore(resumed_dir)
+        assert len(survivor) == 1  # the completed point was checkpointed
+
+        executed = []
+
+        def counting(point):
+            executed.append(point.n_devices)
+            return original(point)
+
+        monkeypatch.setattr(campaign_runner, "execute_point", counting)
+        resumed = CampaignRunner(store=resumed_dir).run(spec)
+        assert executed == [COUNTS[1]]  # only the missing point ran
+        assert (resumed.n_cached, resumed.n_computed) == (1, 1)
+
+        fresh_dir = tmp_path / "fresh"
+        monkeypatch.setattr(campaign_runner, "execute_point", original)
+        fresh = CampaignRunner(store=fresh_dir).run(spec)
+        assert resumed.metrics == fresh.metrics
+        assert (
+            CampaignStore(resumed_dir).manifest()
+            == CampaignStore(fresh_dir).manifest()
+        )
+
+    def test_stale_schema_points_do_not_match(self, tmp_path):
+        """A content-hash miss (here: a different seed) never serves a
+        stale result — the point recomputes instead."""
+        runner = CampaignRunner(store=tmp_path)
+        runner.run(small_spec())
+        shifted = runner.run(small_spec(rng=1))
+        assert shifted.n_computed == len(COUNTS)
+
+
+class TestPoolFallback:
+    def test_resolve_rules(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert resolve_pool_workers(None) == 0
+        assert resolve_pool_workers(0) == 0
+        assert resolve_pool_workers(1) == 0
+        assert resolve_pool_workers(4) == 4
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert resolve_pool_workers(4) == 0
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert resolve_pool_workers(4) == 0
+
+    def test_sweep_on_single_cpu_never_spawns_a_pool(self, monkeypatch):
+        """workers= on a 1-CPU host runs serially — pinned behaviour."""
+        import repro.protocol.network as network
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise AssertionError(
+                    "ProcessPoolExecutor spawned on a 1-CPU host"
+                )
+
+        monkeypatch.setattr(
+            network, "ProcessPoolExecutor", ExplodingPool
+        )
+        deployment = paper_deployment(n_devices=16, rng=2026)
+        pooled = sweep_device_counts(
+            deployment,
+            COUNTS,
+            config=NetScatterConfig(n_association_shifts=0),
+            n_rounds=1,
+            rng=17,
+            engine="analytic",
+            workers=4,
+        )
+        serial = sweep_device_counts(
+            deployment,
+            COUNTS,
+            config=NetScatterConfig(n_association_shifts=0),
+            n_rounds=1,
+            rng=17,
+            engine="analytic",
+        )
+        assert pooled == serial
+
+    def test_campaign_runner_on_single_cpu_never_spawns_a_pool(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise AssertionError(
+                    "ProcessPoolExecutor spawned on a 1-CPU host"
+                )
+
+        monkeypatch.setattr(
+            campaign_runner, "ProcessPoolExecutor", ExplodingPool
+        )
+        run = CampaignRunner(store=tmp_path, workers=4).run(small_spec())
+        assert run.n_computed == len(COUNTS)
+        assert run.metrics == run_campaign_sweep(small_spec())
+
+    def test_pooled_campaign_matches_serial(self, monkeypatch):
+        """With CPUs available the pool path produces identical
+        metrics (each point owns its pre-derived seed)."""
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        pooled = CampaignRunner(workers=2).run(small_spec())
+        assert pooled.metrics == run_campaign_sweep(small_spec())
+
+
+class TestCli:
+    def run_cli(self, *argv):
+        return campaign_cli(list(argv))
+
+    def test_run_matches_fig17_driver_metrics(self, tmp_path, capsys):
+        """Acceptance pin: `python -m repro.campaign run` reproduces
+        fig17's sweep metrics identically to the direct driver path."""
+        counts_arg = ",".join(str(c) for c in COUNTS)
+        assert (
+            self.run_cli(
+                "run",
+                "--spec",
+                "fig17",
+                "--seed",
+                "0",
+                "--counts",
+                counts_arg,
+                "--rounds",
+                str(ROUNDS),
+                "--store",
+                str(tmp_path),
+            )
+            == 0
+        )
+        capsys.readouterr()
+        driver = fig17_phy_rate.run(
+            rng=0, device_counts=COUNTS, n_rounds=ROUNDS
+        )
+        rows = CampaignStore(tmp_path).export_rows()
+        assert [r["n_devices"] for r in rows] == list(COUNTS)
+        for row, driver_row in zip(rows, driver.rows):
+            assert (
+                row["phy_rate_bps"] / 1e3 == driver_row["netscatter_kbps"]
+            )
+
+    def test_rerun_reports_full_cache(self, tmp_path, capsys):
+        for _ in range(2):
+            self.run_cli(
+                "run",
+                "--spec",
+                "fig17",
+                "--seed",
+                "0",
+                "--counts",
+                "1,16",
+                "--rounds",
+                "1",
+                "--store",
+                str(tmp_path),
+            )
+        out = capsys.readouterr().out
+        assert "(2 cached, 0 computed)" in out
+
+    def test_status_and_export(self, tmp_path, capsys):
+        self.run_cli(
+            "run",
+            "--spec",
+            "fig17",
+            "--seed",
+            "0",
+            "--counts",
+            "1,16",
+            "--rounds",
+            "1",
+            "--store",
+            str(tmp_path),
+        )
+        capsys.readouterr()
+        assert self.run_cli("status", "--store", str(tmp_path)) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["n_points"] == 2
+        assert status["by_engine"] == {"auto": 2}
+
+        output = tmp_path / "export.csv"
+        assert (
+            self.run_cli(
+                "export",
+                "--store",
+                str(tmp_path),
+                "--format",
+                "csv",
+                "--output",
+                str(output),
+            )
+            == 0
+        )
+        header, first, second = (
+            output.read_text().strip().splitlines()
+        )
+        assert "phy_rate_bps" in header
+        assert first.split(",")[1] == "1"
+        assert second.split(",")[1] == "16"
+
+    def test_spec_json_round_trip(self, tmp_path, capsys):
+        self.run_cli(
+            "run",
+            "--spec",
+            "fig17",
+            "--seed",
+            "0",
+            "--counts",
+            "1,16",
+            "--rounds",
+            "1",
+            "--store",
+            str(tmp_path),
+            "--save-spec",
+        )
+        capsys.readouterr()
+        assert self.run_cli(
+            "run",
+            "--spec",
+            str(tmp_path / "spec.json"),
+            "--store",
+            str(tmp_path),
+        ) == 0
+        assert "(2 cached, 0 computed)" in capsys.readouterr().out
+
+    def test_unknown_spec_errors(self, tmp_path):
+        with pytest.raises(ReproError):
+            self.run_cli(
+                "run",
+                "--spec",
+                "not-a-preset",
+                "--store",
+                str(tmp_path),
+            )
+
+    def test_preset_only_flags_rejected_for_json_specs(
+        self, tmp_path, capsys
+    ):
+        """A JSON spec is already expanded: --seed/--counts/--rounds/
+        --engine must refuse loudly, not silently run the original
+        grid."""
+        self.run_cli(
+            "run",
+            "--spec",
+            "fig17",
+            "--counts",
+            "1,16",
+            "--rounds",
+            "1",
+            "--store",
+            str(tmp_path),
+            "--save-spec",
+        )
+        capsys.readouterr()
+        spec_file = str(tmp_path / "spec.json")
+        with pytest.raises(ReproError, match="--seed, --counts"):
+            self.run_cli(
+                "run",
+                "--spec",
+                spec_file,
+                "--seed",
+                "1",
+                "--counts",
+                "16",
+                "--store",
+                str(tmp_path),
+            )
+        # Without overrides the JSON spec still runs (fully cached).
+        assert (
+            self.run_cli("run", "--spec", spec_file, "--store", str(tmp_path))
+            == 0
+        )
+        assert "(2 cached, 0 computed)" in capsys.readouterr().out
+
+    def test_drivers_share_the_preset_grid_and_config(self):
+        """Single source: the fig17/fig18 drivers' default grid and
+        sweep config are the preset module's objects."""
+        from repro.campaign.presets import (
+            DEFAULT_DEVICE_COUNTS,
+            SWEEP_CONFIG,
+        )
+        import inspect
+
+        for driver in (fig17_phy_rate.run, fig18_linklayer.run):
+            signature = inspect.signature(driver)
+            assert (
+                signature.parameters["device_counts"].default
+                is DEFAULT_DEVICE_COUNTS
+            )
+        assert small_spec().config == SWEEP_CONFIG

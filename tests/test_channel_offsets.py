@@ -1,6 +1,5 @@
 """Unit tests for repro.channel.offsets — timing/frequency/Doppler."""
 
-import numpy as np
 import pytest
 
 from repro.channel.offsets import (

@@ -1,6 +1,5 @@
 """Unit tests for the waveform-fidelity channel simulator."""
 
-import numpy as np
 import pytest
 
 from repro.channel.simulator import (
@@ -8,7 +7,6 @@ from repro.channel.simulator import (
     WaveformSimulator,
     cross_validate_paths,
 )
-from repro.core.config import NetScatterConfig
 from repro.core.dcss import DeviceTransmission
 from repro.core.receiver import NetScatterReceiver
 from repro.errors import ConfigurationError

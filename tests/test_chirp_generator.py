@@ -9,7 +9,6 @@ from repro.hardware.chirp_generator import (
     decode_through_generator,
 )
 from repro.hardware.device import BackscatterDevice
-from repro.phy.chirp import ChirpParams
 from repro.protocol.messages import AssociationResponse, QueryMessage
 from repro.hardware.envelope_detector import ask_modulate
 

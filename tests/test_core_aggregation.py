@@ -6,7 +6,6 @@ import pytest
 from repro.channel.awgn import awgn
 from repro.core.aggregation import AggregateBand, compare_receiver_costs
 from repro.errors import ConfigurationError, DecodingError
-from repro.phy.chirp import ChirpParams
 
 
 @pytest.fixture

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.channel.awgn import awgn
-from repro.core.config import NetScatterConfig
 from repro.core.dcss import (
     DeviceTransmission,
     compose_frame,

@@ -30,6 +30,8 @@ DOCUMENTED_MODULES = [
     "repro.phy.sparse_readout",
     "repro.phy.backend_plan",
     "repro.phy.noise",
+    "repro.campaign.spec",
+    "repro.campaign.store",
 ]
 
 #: Load-bearing anchors per documentation file: strings that must keep
@@ -54,14 +56,42 @@ DOC_ANCHORS = {
         "noise_mode=\"payload\"",
         "step_tracks",
         "located_bin_noise_covariance",
+        "CampaignSpec",
+        "content_hash",
+        "resolve_pool_workers",
+        "child_seed",
+        "python -m repro.campaign",
     ],
     "README.md": [
         "docs/PERFORMANCE.md",
         "docs/ARCHITECTURE.md",
         "noise_mode",
         "BENCH_fastpath.json",
+        "python -m repro.campaign",
+        ".github/workflows/ci.yml",
     ],
 }
+
+
+class TestCiPipeline:
+    """The CI workflow exists and keeps its load-bearing pieces."""
+
+    def test_workflow_exists_with_required_jobs(self):
+        path = REPO_ROOT / ".github" / "workflows" / "ci.yml"
+        assert path.exists(), "CI workflow is missing"
+        text = path.read_text()
+        for anchor in (
+            "REPRO_SKIP_PERF_GUARD",
+            "ruff check",
+            "perf_smoke.py --quick",
+            "REPRO_BACKEND_CALIBRATION",
+            "validate_report",
+        ):
+            assert anchor in text, f"ci.yml lost {anchor!r}"
+
+    def test_ruff_config_present(self):
+        text = (REPO_ROOT / "pyproject.toml").read_text()
+        assert "[tool.ruff" in text
 
 
 def _load_perf_smoke():

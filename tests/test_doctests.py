@@ -10,6 +10,8 @@ import doctest
 
 import pytest
 
+import repro.campaign.spec
+import repro.campaign.store
 import repro.phy.backend_plan
 import repro.phy.noise
 import repro.phy.sparse_readout
@@ -22,6 +24,8 @@ MODULES_WITH_DOCTESTS = [
     repro.phy.sparse_readout,
     repro.phy.backend_plan,
     repro.phy.noise,
+    repro.campaign.spec,
+    repro.campaign.store,
 ]
 
 

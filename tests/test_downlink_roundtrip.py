@@ -2,7 +2,6 @@
 envelope detector, parsed back into protocol fields."""
 
 import numpy as np
-import pytest
 
 from repro.hardware.envelope_detector import EnvelopeDetector, ask_modulate
 from repro.protocol.messages import (

@@ -101,3 +101,10 @@ def test_perf_smoke_quick_mode_within_budget(tmp_path):
     assert modes["full"]["noise_version"] == 1
     assert modes["payload"]["noise_version"] == 2
     assert modes["speedup_payload_vs_full"] > 0
+    campaign = run["campaign"]
+    assert campaign["cold"]["points_computed"] > 0
+    assert campaign["warm_rerun"]["points_computed"] == 0
+    assert campaign["fig18_reuse"]["points_computed"] == 0
+    assert campaign["fig18_reuse"]["points_cached"] == (
+        campaign["cold"]["points_computed"]
+    )

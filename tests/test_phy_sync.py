@@ -5,7 +5,6 @@ import pytest
 
 from repro.channel.awgn import awgn
 from repro.errors import SynchronizationError
-from repro.phy.chirp import ChirpParams
 from repro.phy.onoff import OnOffKeyedTransmitter
 from repro.phy.sync import PreambleSynchronizer, estimate_cfo_bins
 from repro.utils.sampling import apply_cfo

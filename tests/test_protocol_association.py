@@ -4,10 +4,7 @@ import pytest
 
 from repro.core.config import NetScatterConfig
 from repro.errors import AssociationError
-from repro.protocol.association import (
-    AssociationController,
-    AssociationPhase,
-)
+from repro.protocol.association import AssociationController
 
 
 @pytest.fixture
