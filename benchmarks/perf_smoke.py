@@ -58,6 +58,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import shutil
 import tempfile
@@ -665,10 +666,19 @@ def main(quick: bool = False, output=None) -> dict:
     runs.append(run)
     report = {"schema": "bench-fastpath-v2", "runs": runs}
     validate_report(report)
-    output.write_text(json.dumps(report, indent=2) + "\n")
+    _write_atomic(output, json.dumps(report, indent=2) + "\n")
     print(json.dumps(run, indent=2))
     print(f"\nappended run {len(runs)} to {output}")
     return report
+
+
+def _write_atomic(output: Path, text: str) -> None:
+    """Tmp-file + ``os.replace`` write: a crash mid-append can never
+    leave a torn ``BENCH_fastpath.json`` — the history is append-only
+    and the previous version survives any interrupted write."""
+    tmp = output.with_name(output.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, output)
 
 
 if __name__ == "__main__":

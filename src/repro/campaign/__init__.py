@@ -8,17 +8,26 @@ declarative, cacheable artifacts:
   ingredient an explicit seed);
 * :mod:`repro.campaign.store` — :class:`CampaignStore`, a per-point
   JSON/npz chunk store keyed by content hash with a rebuildable
-  manifest (reruns skip completed points bit-for-bit);
+  manifest, chunk-integrity verification, and a quarantine for corrupt
+  chunks (reruns skip completed points bit-for-bit);
 * :mod:`repro.campaign.runner` — :class:`CampaignRunner`, sharding
   pending points over the network-sweep process-pool plumbing with
-  per-point checkpointing (kill-safe, resumable);
+  per-point checkpointing, bounded retries with seeded-jitter backoff,
+  per-point timeouts, and broken-pool → serial degradation;
+* :mod:`repro.campaign.leases` — the point claim/heartbeat/expiry
+  protocol letting N concurrent runners partition one store;
+* :mod:`repro.campaign.faults` — deterministic fault injection
+  (:class:`FaultPlan` / ``REPRO_FAULT_PLAN``) exercising every
+  recovery path above in CI;
 * :mod:`repro.campaign.presets` — builtin specs matching the Fig.
   17/18 drivers seed for seed;
 * ``python -m repro.campaign`` — ``run`` / ``status`` / ``export``.
 
-See the Campaign layer section of ``docs/ARCHITECTURE.md``.
+See the Campaign layer sections of ``docs/ARCHITECTURE.md``.
 """
 
+from repro.campaign.faults import FaultPlan, FaultRule
+from repro.campaign.leases import LeaseManager
 from repro.campaign.presets import (
     PRESETS,
     build_preset,
@@ -27,8 +36,11 @@ from repro.campaign.presets import (
     noise_grid_campaign,
 )
 from repro.campaign.runner import (
+    CampaignPointFailure,
+    CampaignPointResult,
     CampaignRun,
     CampaignRunner,
+    RetryPolicy,
     execute_point,
     run_campaign_sweep,
 )
@@ -37,11 +49,17 @@ from repro.campaign.store import CampaignStore
 
 __all__ = [
     "CampaignPoint",
+    "CampaignPointFailure",
+    "CampaignPointResult",
     "CampaignRun",
     "CampaignRunner",
     "CampaignSpec",
     "CampaignStore",
+    "FaultPlan",
+    "FaultRule",
+    "LeaseManager",
     "PRESETS",
+    "RetryPolicy",
     "build_preset",
     "derive_seeds",
     "execute_point",

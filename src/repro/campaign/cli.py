@@ -14,9 +14,20 @@ Usage::
     # a spec saved as JSON (CampaignSpec.to_dict round-trip)
     python -m repro.campaign run --spec runs/grid/spec.json --store ...
 
-    # what the store holds / the merged results table
+    # fault tolerance: bounded retries, per-point timeouts, and (for
+    # CI) a deterministic fault-injection plan
+    python -m repro.campaign run --spec fig17 --store runs/fig17 \\
+        --timeout-s 120 --max-attempts 5 --fault-plan plan.json
+
+    # what the store holds / the merged results table (status includes
+    # leased/failed/quarantined counts)
     python -m repro.campaign status --store runs/fig17
     python -m repro.campaign export --store runs/fig17 --format csv
+
+Concurrent runners: multiple ``run`` invocations may target the same
+store simultaneously — points are partitioned through the lease files
+under ``<store>/leases/`` and a killed runner's points are reclaimed
+when its leases expire. See docs/ARCHITECTURE.md §7.
 """
 
 from __future__ import annotations
@@ -29,11 +40,12 @@ import sys
 import time
 from pathlib import Path
 
+from repro.campaign.faults import FaultPlan
 from repro.campaign.presets import PRESETS, build_preset
-from repro.campaign.runner import CampaignRunner
+from repro.campaign.runner import CampaignRunner, RetryPolicy
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import CampaignStore
-from repro.errors import ReproError
+from repro.errors import CampaignExecutionError, ReproError
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -89,6 +101,42 @@ def _build_parser() -> argparse.ArgumentParser:
         "--save-spec",
         action="store_true",
         help="also write the expanded spec to <store>/spec.json",
+    )
+    run.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        help="per-point attempt timeout (hung workers are retried)",
+    )
+    run.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help="retry budget per point (default 3, seeded-jitter backoff)",
+    )
+    run.add_argument(
+        "--lease-ttl-s",
+        type=float,
+        default=None,
+        help="lease time-to-live for concurrent-runner claims",
+    )
+    run.add_argument(
+        "--no-leases",
+        action="store_true",
+        help="skip the point-lease protocol (single-runner stores)",
+    )
+    run.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="report permanently-failed points instead of erroring",
+    )
+    run.add_argument(
+        "--fault-plan",
+        default=None,
+        help=(
+            "fault-injection plan: inline JSON or a path "
+            "(test/CI harness; also honours $REPRO_FAULT_PLAN)"
+        ),
     )
 
     status = sub.add_parser("status", help="summarise a store")
@@ -152,31 +200,76 @@ def _load_spec(args) -> CampaignSpec:
 
 def _cmd_run(args) -> int:
     spec = _load_spec(args)
-    store = CampaignStore(args.store)
+    fault_plan = None
+    if args.fault_plan is not None:
+        raw = args.fault_plan.strip()
+        fault_plan = (
+            FaultPlan.from_json(raw)
+            if raw.startswith("{")
+            else FaultPlan.from_file(raw)
+        )
+    store = CampaignStore(args.store, fault_plan=fault_plan)
     if args.save_spec:
         (store.root / "spec.json").write_text(
             json.dumps(spec.to_dict(), indent=2, sort_keys=True) + "\n"
         )
-    runner = CampaignRunner(store=store, workers=args.workers)
+    runner_kwargs = {}
+    if args.max_attempts is not None:
+        runner_kwargs["retry"] = RetryPolicy(max_attempts=args.max_attempts)
+    if args.lease_ttl_s is not None:
+        runner_kwargs["lease_ttl_s"] = args.lease_ttl_s
+    runner = CampaignRunner(
+        store=store,
+        workers=args.workers,
+        point_timeout_s=args.timeout_s,
+        use_leases=not args.no_leases,
+        fault_plan=fault_plan,
+        allow_partial=args.allow_partial,
+        **runner_kwargs,
+    )
     started = time.perf_counter()
-    run = runner.run(spec)
+    try:
+        run = runner.run(spec)
+    except CampaignExecutionError as error:
+        print(f"campaign {spec.name!r} FAILED: {error}", file=sys.stderr)
+        print(
+            "  (failure records are under "
+            f"{store.root / 'failures'}; re-run to retry, or pass "
+            "--allow-partial to collect what succeeded)",
+            file=sys.stderr,
+        )
+        return 1
     elapsed = time.perf_counter() - started
+    failed_note = f", {run.n_failed} failed" if run.failures else ""
     print(
         f"campaign {spec.name!r}: {len(run.results)} points "
-        f"({run.n_cached} cached, {run.n_computed} computed) "
+        f"({run.n_cached} cached, {run.n_computed} computed"
+        f"{failed_note}) "
         f"in {elapsed:.2f}s -> {store.root}"
     )
     for result in run.results:
         point = result.point
         origin = "cache" if result.cached else "ran  "
+        retry_note = (
+            f" attempts={result.attempts}" if result.attempts > 1 else ""
+        )
         print(
             f"  [{origin}] D={point.n_devices:>4} "
             f"engine={point.engine} noise={point.noise_mode} "
             f"fading={int(point.fading)} "
             f"backend={result.provenance.get('backend', '?')} "
             f"phy={result.metrics.phy_rate_bps / 1e3:.1f}kbps"
+            f"{retry_note}"
         )
-    return 0
+    for failure in run.failures:
+        last = failure.attempts[-1] if failure.attempts else {}
+        print(
+            f"  [FAIL ] D={failure.point.n_devices:>4} "
+            f"{failure.content_hash[:12]}… after "
+            f"{len(failure.attempts)} attempts "
+            f"({last.get('error', '?')}: {last.get('message', '?')})"
+        )
+    return 0 if not run.failures else 1
 
 
 def _cmd_status(args) -> int:

@@ -1,0 +1,314 @@
+"""Deterministic fault injection for the campaign execution layer.
+
+Every recovery path in the campaign runner/store — retry after a worker
+crash, per-point timeout of a hung worker, ``BrokenProcessPool`` →
+serial degradation, torn-chunk quarantine — is exercised in CI through
+this harness rather than trusted. A :class:`FaultPlan` is a *seeded,
+declarative* list of :class:`FaultRule`\\ s saying exactly which points
+fail, how, and on which attempt:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-fault-plan-v1",
+      "seed": 0,
+      "rules": [
+        {"stage": "execute", "kind": "crash",
+         "match": {"n_devices": 16}, "attempts": [1]},
+        {"stage": "execute", "kind": "hang",
+         "match": {"hash_prefix": "3f"}, "attempts": [1], "hang_s": 0.5},
+        {"stage": "write", "kind": "torn", "match": {}, "attempts": [1]}
+      ]
+    }
+
+Rules fire on explicit *attempt numbers* (the runner threads the
+current attempt through), so injection is reproducible across serial
+runs, process pools, and resumed campaigns without shared mutable
+state. The plan reaches out-of-process pool workers by value (it is a
+frozen, picklable dataclass) and reaches subprocess-launched runners
+via the ``REPRO_FAULT_PLAN`` environment variable (inline JSON, or a
+path to a JSON file).
+
+Fault kinds:
+
+``crash``
+    Raise :class:`~repro.errors.FaultInjectedError` (a retryable,
+    transient worker exception).
+``hang``
+    Sleep ``hang_s`` seconds before proceeding — long enough to trip a
+    configured per-point timeout, it simulates a hung worker.
+``kill``
+    Hard-kill the executing process with ``os._exit`` — in a pool
+    worker this breaks the pool (exercising the serial fallback). In
+    the main process it degrades to ``crash`` so a serial test run is
+    not killed outright.
+``torn``
+    (``stage="write"`` only) Truncate the just-written chunk file in
+    half, simulating a crash mid-write; the store's integrity check
+    must quarantine it on next read.
+
+Doctest — a plan round-trips through JSON and fires only on its
+declared attempt:
+
+>>> from repro.campaign.faults import FaultPlan
+>>> plan = FaultPlan.from_json(
+...     '{"schema": "repro-fault-plan-v1", "rules": ['
+...     '{"stage": "execute", "kind": "crash",'
+...     ' "match": {"n_devices": 8}, "attempts": [1]}]}')
+>>> point = {"n_devices": 8, "engine": "analytic"}
+>>> plan.match("execute", point, "abc123", attempt=2) is None
+True
+>>> plan.match("execute", point, "abc123", attempt=1).kind
+'crash'
+>>> plan.match("execute", {"n_devices": 4}, "abc123", 1) is None
+True
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError, FaultInjectedError
+
+#: Environment variable carrying a fault plan: inline JSON (starts with
+#: ``{``) or a path to a JSON file. Empty/unset means no injection.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+PLAN_SCHEMA = "repro-fault-plan-v1"
+
+STAGES = ("execute", "write")
+KINDS = ("crash", "hang", "kill", "torn")
+
+#: Point fields a rule's ``match`` may constrain (beyond
+#: ``hash_prefix``, which matches on the point's content hash).
+_MATCH_FIELDS = (
+    "n_devices",
+    "n_rounds",
+    "engine",
+    "noise_mode",
+    "fading",
+    "seed",
+)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic fault: where it fires, what it does."""
+
+    stage: str
+    kind: str
+    match: Mapping[str, object] = field(default_factory=dict)
+    attempts: Tuple[int, ...] = (1,)
+    hang_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.stage not in STAGES:
+            raise ConfigurationError(
+                f"fault stage must be one of {STAGES}, got {self.stage!r}"
+            )
+        if self.kind not in KINDS:
+            raise ConfigurationError(
+                f"fault kind must be one of {KINDS}, got {self.kind!r}"
+            )
+        if self.kind == "torn" and self.stage != "write":
+            raise ConfigurationError("'torn' faults belong to stage 'write'")
+        if self.kind != "torn" and self.stage == "write":
+            raise ConfigurationError(
+                f"stage 'write' only supports 'torn', got {self.kind!r}"
+            )
+        object.__setattr__(self, "match", dict(self.match))
+        object.__setattr__(
+            self, "attempts", tuple(int(a) for a in self.attempts)
+        )
+        unknown = [
+            key
+            for key in self.match
+            if key != "hash_prefix" and key not in _MATCH_FIELDS
+        ]
+        if unknown:
+            raise ConfigurationError(
+                f"fault match keys {unknown} are not matchable; "
+                f"use hash_prefix or {_MATCH_FIELDS}"
+            )
+
+    def applies(
+        self,
+        stage: str,
+        point_fields: Mapping[str, object],
+        content_hash: str,
+        attempt: int,
+    ) -> bool:
+        if stage != self.stage or int(attempt) not in self.attempts:
+            return False
+        for key, wanted in self.match.items():
+            if key == "hash_prefix":
+                if not content_hash.startswith(str(wanted)):
+                    return False
+            elif point_fields.get(key) != wanted:
+                return False
+        return True
+
+
+def _in_pool_worker() -> bool:
+    """True when running inside a spawned/forked worker process."""
+    return multiprocessing.parent_process() is not None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of deterministic fault rules.
+
+    Frozen and picklable so the runner can ship the plan to pool
+    workers by value; ``seed`` is reserved for rules that need derived
+    randomness (none of the built-in kinds draw — determinism first).
+    """
+
+    rules: Tuple[FaultRule, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FaultPlan":
+        payload = dict(data)
+        schema = payload.pop("schema", PLAN_SCHEMA)
+        if schema != PLAN_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported fault plan schema {schema!r}"
+            )
+        rules = tuple(
+            FaultRule(**dict(rule)) for rule in payload.pop("rules", ())
+        )
+        seed = int(payload.pop("seed", 0))
+        if payload:
+            raise ConfigurationError(
+                f"unknown fault plan keys {sorted(payload)}"
+            )
+        return cls(rules=rules, seed=seed)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path) -> "FaultPlan":
+        return cls.from_json(Path(path).read_text())
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The ambient plan (``REPRO_FAULT_PLAN``), or ``None``.
+
+        Inline JSON when the value starts with ``{``, otherwise a file
+        path. This is how fault plans reach subprocess-launched runners
+        and the CLI without threading an argument everywhere.
+        """
+        raw = os.environ.get(FAULT_PLAN_ENV, "").strip()
+        if not raw:
+            return None
+        if raw.startswith("{"):
+            return cls.from_json(raw)
+        return cls.from_file(raw)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": PLAN_SCHEMA,
+            "seed": self.seed,
+            "rules": [
+                {
+                    "stage": rule.stage,
+                    "kind": rule.kind,
+                    "match": dict(rule.match),
+                    "attempts": list(rule.attempts),
+                    "hang_s": rule.hang_s,
+                }
+                for rule in self.rules
+            ],
+        }
+
+    # ------------------------------------------------------------------ #
+    # firing
+    # ------------------------------------------------------------------ #
+
+    def match(
+        self,
+        stage: str,
+        point_fields: Mapping[str, object],
+        content_hash: str,
+        attempt: int,
+    ) -> Optional[FaultRule]:
+        """First rule applying at this (stage, point, attempt), if any."""
+        for rule in self.rules:
+            if rule.applies(stage, point_fields, content_hash, attempt):
+                return rule
+        return None
+
+    def fire_execute(
+        self,
+        point_fields: Mapping[str, object],
+        content_hash: str,
+        attempt: int,
+    ) -> None:
+        """Inject the matching execute-stage fault, if any.
+
+        Called by the runner (serial path) and the pool worker wrapper
+        immediately before the real point computation.
+        """
+        rule = self.match("execute", point_fields, content_hash, attempt)
+        if rule is None:
+            return
+        if rule.kind == "hang":
+            time.sleep(rule.hang_s)
+            return
+        if rule.kind == "kill":
+            if _in_pool_worker():
+                # Hard-kill the worker: the parent sees a
+                # BrokenProcessPool and must degrade to serial.
+                os._exit(86)
+            raise FaultInjectedError(
+                f"injected kill (degraded to crash in main process) at "
+                f"point {content_hash[:12]}… attempt {attempt}"
+            )
+        raise FaultInjectedError(
+            f"injected {rule.kind} at point {content_hash[:12]}… "
+            f"attempt {attempt}"
+        )
+
+    def fire_write(
+        self,
+        point_fields: Mapping[str, object],
+        content_hash: str,
+        path,
+        attempt: int,
+    ) -> None:
+        """Tear the just-written chunk at ``path`` if a rule matches."""
+        rule = self.match("write", point_fields, content_hash, attempt)
+        if rule is None:
+            return
+        tear_file(path)
+
+
+def tear_file(path) -> None:
+    """Truncate ``path`` to half its size (simulates a torn write)."""
+    path = Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[: max(1, len(data) // 2)])
+
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "PLAN_SCHEMA",
+    "FaultPlan",
+    "FaultRule",
+    "tear_file",
+]

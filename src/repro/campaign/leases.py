@@ -1,0 +1,278 @@
+"""Point leases: atomic claim/heartbeat/expiry over a shared store.
+
+This is the worker claim protocol the ROADMAP's multi-host campaign
+direction calls for: N concurrent :class:`~repro.campaign.runner.
+CampaignRunner`\\ s pointed at one :class:`~repro.campaign.store.
+CampaignStore` partition the pending points without duplicating work,
+and a killed worker's points become reclaimable once its lease expires.
+Because points are content-addressed and execution is deterministic,
+*correctness never depends on the leases* — a lost race at worst
+recomputes a point whose chunk write is idempotent (bit-identical
+content under the same hash). Leases only prevent wasted duplicate
+computation and give ``status`` a live "running" view.
+
+Protocol (one file per claimed point, ``leases/<hash>.lease``):
+
+* **Claim** — create the lease file with ``O_CREAT | O_EXCL`` (atomic
+  on POSIX and NT): exactly one worker wins a vacant point.
+* **Heartbeat** — the owner periodically rewrites the lease (tmp +
+  ``os.replace``) pushing the deadline forward; deadlines only ever
+  move forward (monotone renewal), never backward.
+* **Expiry/steal** — a lease whose deadline has passed (or that is
+  unreadable) is dead: a claimant *replaces* it atomically and then
+  reads the file back; whoever's owner id survived the replace owns
+  the point. Replace-then-verify means two simultaneous stealers
+  resolve to exactly one winner.
+* **Release** — the owner unlinks the file after checkpointing the
+  chunk (or on failure, so other workers may try).
+
+Deadlines are wall-clock (:func:`time.time`): lease files must be
+comparable *across processes and hosts*, where monotonic clocks have
+no common epoch. The TTL should comfortably exceed the heartbeat
+interval (the runner heartbeats at ``ttl/3``), so ordinary clock skew
+is absorbed by the margin.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, List, Optional
+
+LEASE_SCHEMA = "repro-campaign-lease-v1"
+
+#: Default lease time-to-live. Long enough that a healthy worker's
+#: heartbeat (ttl/3) never lets its own lease lapse; short enough that
+#: a killed worker's points come back quickly.
+DEFAULT_TTL_S = 30.0
+
+
+def default_owner_id() -> str:
+    """A process-unique owner id: host, pid, and a random tail."""
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+
+
+def read_lease(path) -> Optional[Dict[str, object]]:
+    """The lease payload at ``path``, or ``None`` if missing/unreadable.
+
+    An unreadable (torn) lease is treated as expired by callers — the
+    claim protocol then replaces it atomically.
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict) or data.get("schema") != LEASE_SCHEMA:
+        return None
+    return data
+
+
+def scan_leases(directory) -> List[Dict[str, object]]:
+    """All readable leases under ``directory`` (may include expired)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    leases = []
+    for path in sorted(directory.glob("*.lease")):
+        payload = read_lease(path)
+        if payload is not None:
+            leases.append(payload)
+    return leases
+
+
+class LeaseManager:
+    """Claim, renew, and release point leases in one directory.
+
+    Parameters
+    ----------
+    directory:
+        The lease directory (``<store>/leases``), created on demand.
+    owner:
+        Stable id stamped into every lease this manager writes.
+    ttl_s:
+        Seconds a lease stays valid past its last (re)write.
+    """
+
+    def __init__(
+        self,
+        directory,
+        owner: Optional[str] = None,
+        ttl_s: float = DEFAULT_TTL_S,
+    ) -> None:
+        if ttl_s <= 0:
+            raise ValueError(f"lease ttl must be positive, got {ttl_s}")
+        self._dir = Path(directory)
+        self._owner = owner or default_owner_id()
+        self._ttl_s = float(ttl_s)
+        self._held: Dict[str, int] = {}  # hash -> renewal count
+        self._lock = threading.Lock()
+
+    @property
+    def owner(self) -> str:
+        return self._owner
+
+    @property
+    def ttl_s(self) -> float:
+        return self._ttl_s
+
+    @property
+    def held(self) -> List[str]:
+        with self._lock:
+            return sorted(self._held)
+
+    def _path(self, content_hash: str) -> Path:
+        return self._dir / f"{content_hash}.lease"
+
+    def _payload(self, content_hash: str, renewals: int) -> str:
+        now = time.time()
+        return json.dumps(
+            {
+                "schema": LEASE_SCHEMA,
+                "content_hash": content_hash,
+                "owner": self._owner,
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+                "acquired_at": now,
+                "deadline": now + self._ttl_s,
+                "renewals": renewals,
+            },
+            sort_keys=True,
+        )
+
+    def _replace(self, content_hash: str, renewals: int) -> None:
+        """Atomically (re)write the lease file with a fresh deadline."""
+        path = self._path(content_hash)
+        tmp = path.with_name(
+            f"{path.name}.{self._owner}.{uuid.uuid4().hex[:6]}.tmp"
+        )
+        tmp.write_text(self._payload(content_hash, renewals) + "\n")
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------ #
+    # protocol
+    # ------------------------------------------------------------------ #
+
+    def acquire(self, content_hash: str) -> bool:
+        """Try to claim ``content_hash``; True when this owner now holds it.
+
+        Vacant points are claimed with an exclusive create. A live
+        lease by another owner loses the claim. An expired or
+        unreadable lease is stolen with replace-then-verify: after the
+        atomic replace the file is read back, and only the owner whose
+        payload survived wins — simultaneous stealers resolve to one.
+        """
+        self._dir.mkdir(parents=True, exist_ok=True)
+        path = self._path(content_hash)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            pass
+        else:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(self._payload(content_hash, 0) + "\n")
+            with self._lock:
+                self._held[content_hash] = 0
+            return True
+
+        current = read_lease(path)
+        if (
+            current is not None
+            and float(current.get("deadline", 0.0)) > time.time()
+            and current.get("owner") != self._owner
+        ):
+            return False  # live lease held elsewhere
+        # Expired, torn, or our own stale file: steal and verify.
+        self._replace(content_hash, 0)
+        winner = read_lease(path)
+        if winner is not None and winner.get("owner") == self._owner:
+            with self._lock:
+                self._held[content_hash] = 0
+            return True
+        return False
+
+    def renew(self, content_hash: str) -> bool:
+        """Heartbeat one held lease; False when it was lost (stolen)."""
+        current = read_lease(self._path(content_hash))
+        if current is None or current.get("owner") != self._owner:
+            with self._lock:
+                self._held.pop(content_hash, None)
+            return False
+        with self._lock:
+            renewals = self._held.get(content_hash, 0) + 1
+            self._held[content_hash] = renewals
+        self._replace(content_hash, renewals)
+        return True
+
+    def renew_held(self) -> None:
+        """Heartbeat every lease this manager still holds."""
+        for content_hash in self.held:
+            self.renew(content_hash)
+
+    def release(self, content_hash: str) -> None:
+        """Drop a held lease (after checkpoint or failure record)."""
+        with self._lock:
+            self._held.pop(content_hash, None)
+        path = self._path(content_hash)
+        current = read_lease(path)
+        if current is not None and current.get("owner") == self._owner:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def release_all(self) -> None:
+        for content_hash in self.held:
+            self.release(content_hash)
+
+    def holder(self, content_hash: str) -> Optional[Dict[str, object]]:
+        """The live lease on a point, or ``None`` if vacant/expired."""
+        current = read_lease(self._path(content_hash))
+        if current is None:
+            return None
+        if float(current.get("deadline", 0.0)) <= time.time():
+            return None
+        return current
+
+
+class HeartbeatThread:
+    """Daemon thread renewing a :class:`LeaseManager`'s held leases.
+
+    Runs at ``ttl/3`` so a healthy worker never lets its own leases
+    lapse, even while a long point computes; stops promptly when asked.
+    """
+
+    def __init__(self, leases: LeaseManager) -> None:
+        self._leases = leases
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="campaign-lease-heartbeat", daemon=True
+        )
+
+    def _run(self) -> None:
+        interval = self._leases.ttl_s / 3.0
+        while not self._stop.wait(interval):
+            self._leases.renew_held()
+
+    def __enter__(self) -> "HeartbeatThread":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=self._leases.ttl_s)
+
+
+__all__ = [
+    "DEFAULT_TTL_S",
+    "LEASE_SCHEMA",
+    "HeartbeatThread",
+    "LeaseManager",
+    "default_owner_id",
+    "read_lease",
+    "scan_leases",
+]

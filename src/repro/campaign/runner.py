@@ -1,4 +1,4 @@
-"""Sharded, resumable campaign execution.
+"""Sharded, resumable, fault-tolerant campaign execution.
 
 The runner walks a :class:`~repro.campaign.spec.CampaignSpec`, skips
 every point whose content hash is already present in the store, and
@@ -10,6 +10,26 @@ loses at most the points in flight; re-running the same spec loads the
 completed points bit-for-bit and computes only the remainder (pinned by
 ``tests/test_campaign.py``).
 
+Fault tolerance (pinned by ``tests/test_campaign_faults.py``):
+
+* **Leases** — with a store, pending points are claimed through the
+  lease protocol (:mod:`repro.campaign.leases`), so N concurrent
+  runners on one store partition the work without duplicating
+  computations; a killed runner's leases expire and its points are
+  reclaimed, and the final manifest is identical to a single-shot run.
+* **Retries** — a failed attempt is retried with seeded-jitter
+  exponential backoff up to :attr:`RetryPolicy.max_attempts`; every
+  failed attempt is persisted as a failure record next to the chunks
+  so ``status`` can tell failed from pending.
+* **Timeouts** — ``point_timeout_s`` bounds each attempt; a hung
+  worker (pool or serial) is abandoned and the attempt retried.
+* **Degradation** — a broken process pool (killed worker) downgrades
+  the remaining points to serial execution instead of aborting the
+  campaign.
+* **Fault injection** — a :class:`~repro.campaign.faults.FaultPlan`
+  (or ``REPRO_FAULT_PLAN``) deterministically injects crashes, hangs,
+  kills, and torn writes so every path above runs in CI.
+
 Every stored point carries the provenance the engines already stamp on
 their results — spectral ``backend``, ``noise_mode``/``noise_version``
 — plus the host backend-calibration schema, so a store can be audited
@@ -19,23 +39,45 @@ record, not in the operator's memory.
 
 from __future__ import annotations
 
+import contextlib
+import hashlib
+import os
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import asdict, dataclass
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.campaign.faults import FaultPlan
+from repro.campaign.leases import (
+    DEFAULT_TTL_S,
+    HeartbeatThread,
+    LeaseManager,
+)
 from repro.campaign.spec import CampaignPoint, CampaignSpec
 from repro.campaign.store import CampaignStore
 from repro.channel.deployment import Deployment, paper_deployment
 from repro.core.config import NetScatterConfig
-from repro.errors import ConfigurationError
+from repro.errors import (
+    CampaignExecutionError,
+    ConfigurationError,
+    PointTimeoutError,
+)
 from repro.protocol.network import (
     NetworkMetrics,
     NetworkSimulator,
     resolve_pool_workers,
 )
+
+#: When set, every *completed* point execution appends one
+#: ``"<hash> <pid>"`` line here (O_APPEND, atomic for short lines).
+#: The fault-tolerance tests use it to prove that concurrent runners
+#: never compute the same point twice.
+EXEC_LOG_ENV = "REPRO_CAMPAIGN_EXEC_LOG"
 
 
 def build_deployment(descriptor: Dict[str, object]) -> Deployment:
@@ -87,13 +129,127 @@ def execute_point(point: CampaignPoint) -> Tuple[Dict, Dict]:
     return asdict(metrics), provenance
 
 
-def _execute_point_timed(
+def _log_execution(content_hash: str) -> None:
+    """Append a completion line to the exec log, when one is configured."""
+    log_path = os.environ.get(EXEC_LOG_ENV)
+    if not log_path:
+        return
+    line = f"{content_hash} {os.getpid()}\n".encode()
+    fd = os.open(log_path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line)
+    finally:
+        os.close(fd)
+
+
+def _pool_execute(
     point: CampaignPoint,
+    attempt: int = 1,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Tuple[Dict, Dict, float]:
-    """Pool wrapper: time the execution inside the worker process."""
+    """Pool wrapper: inject faults and time the execution in the worker."""
+    if fault_plan is not None:
+        fault_plan.fire_execute(
+            point.to_dict(), point.content_hash(), attempt
+        )
     started = time.perf_counter()
     metrics_dict, provenance = execute_point(point)
-    return metrics_dict, provenance, time.perf_counter() - started
+    elapsed = time.perf_counter() - started
+    _log_execution(point.content_hash())
+    return metrics_dict, provenance, elapsed
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with seeded-jitter exponential backoff.
+
+    The backoff for a given ``(content_hash, attempt)`` is a pure
+    function of the policy seed, so retry schedules are reproducible
+    across runs and hosts — no shared state, no wall-clock dependence.
+
+    >>> policy = RetryPolicy(max_attempts=3, base_delay_s=0.1)
+    >>> a = policy.backoff_s("deadbeef", 1)
+    >>> a == policy.backoff_s("deadbeef", 1)  # deterministic
+    True
+    >>> policy.backoff_s("deadbeef", 2) >= a  # exponential growth
+    True
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.1
+    max_delay_s: float = 5.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ConfigurationError(
+                "need 0 <= base_delay_s <= max_delay_s"
+            )
+        if not 0 <= self.jitter <= 1:
+            raise ConfigurationError("jitter must be within [0, 1]")
+
+    def backoff_s(self, content_hash: str, attempt: int) -> float:
+        """Deterministic delay before retrying ``attempt`` (1-based)."""
+        digest = hashlib.sha256(
+            f"{self.seed}:{content_hash}:{attempt}".encode()
+        ).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2.0**64
+        delay = self.base_delay_s * 2.0 ** (attempt - 1)
+        return min(self.max_delay_s, delay) * (1.0 + self.jitter * unit)
+
+
+class _PointFailed(Exception):
+    """Internal: a point exhausted its retry budget (carries history)."""
+
+    def __init__(self, attempts: List[Dict[str, object]]):
+        super().__init__(attempts[-1]["message"] if attempts else "failed")
+        self.attempts = attempts
+
+
+def _call_with_timeout(fn, timeout_s: Optional[float]):
+    """Run ``fn()`` bounded by ``timeout_s`` (None → unbounded).
+
+    The bounded call runs in a daemon thread; on timeout the thread is
+    abandoned (its eventual result discarded — completions are only
+    logged/checkpointed from the caller) and
+    :class:`~repro.errors.PointTimeoutError` is raised.
+    """
+    if not timeout_s:
+        return fn()
+    box: Dict[str, object] = {}
+
+    def target() -> None:
+        try:
+            box["result"] = fn()
+        except BaseException as error:  # re-raised in the caller
+            box["error"] = error
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise PointTimeoutError(
+            f"point execution exceeded {timeout_s:g}s"
+        )
+    if "error" in box:
+        raise box["error"]
+    return box["result"]
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Abandon a pool whose worker hung or died: never wait on it."""
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except TypeError:  # pragma: no cover - very old signature
+        pool.shutdown(wait=False)
+    for process in list(getattr(pool, "_processes", {}).values() or []):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - best effort
+            pass
 
 
 @dataclass
@@ -105,6 +261,17 @@ class CampaignPointResult:
     provenance: Dict[str, object]
     cached: bool
     elapsed_s: float
+    attempts: int = 1
+
+
+@dataclass
+class CampaignPointFailure:
+    """A point that exhausted its retries (present in ``allow_partial``
+    runs; otherwise surfaced as :class:`CampaignExecutionError`)."""
+
+    point: CampaignPoint
+    content_hash: str
+    attempts: List[Dict[str, object]]
 
 
 @dataclass
@@ -113,6 +280,7 @@ class CampaignRun:
 
     spec: CampaignSpec
     results: List[CampaignPointResult]
+    failures: List[CampaignPointFailure] = field(default_factory=list)
 
     @property
     def n_cached(self) -> int:
@@ -121,6 +289,10 @@ class CampaignRun:
     @property
     def n_computed(self) -> int:
         return sum(1 for r in self.results if not r.cached)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failures)
 
     @property
     def metrics(self) -> List[NetworkMetrics]:
@@ -138,88 +310,449 @@ class CampaignRunner:
     workers:
         Process-pool request for the *pending* points, resolved through
         :func:`resolve_pool_workers` (``None``/1-CPU hosts → serial).
+    retry:
+        :class:`RetryPolicy` for failed attempts (default: 3 attempts,
+        seeded-jitter exponential backoff).
+    point_timeout_s:
+        Per-attempt wall-clock bound; a hung attempt is abandoned and
+        retried. ``None`` disables the bound.
+    use_leases / lease_ttl_s / owner:
+        With a store, pending points are claimed through lease files so
+        concurrent runners partition the work; ``use_leases=False``
+        restores the PR-5 single-runner behaviour.
+    fault_plan:
+        Deterministic fault injection (default: ``REPRO_FAULT_PLAN``).
+    wait_poll_s / wait_timeout_s:
+        Poll cadence (and optional overall bound) while waiting for
+        points another runner holds; expired leases are reclaimed.
+    allow_partial:
+        When True, permanently-failed points are reported on
+        :attr:`CampaignRun.failures` instead of raising
+        :class:`~repro.errors.CampaignExecutionError`.
     """
 
     def __init__(
         self,
         store: Optional[CampaignStore] = None,
         workers: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        point_timeout_s: Optional[float] = None,
+        use_leases: bool = True,
+        lease_ttl_s: float = DEFAULT_TTL_S,
+        owner: Optional[str] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        wait_poll_s: float = 0.1,
+        wait_timeout_s: Optional[float] = None,
+        allow_partial: bool = False,
     ) -> None:
+        self._fault_plan = (
+            fault_plan if fault_plan is not None else FaultPlan.from_env()
+        )
         if store is not None and not isinstance(store, CampaignStore):
-            store = CampaignStore(store)
+            store = CampaignStore(store, fault_plan=self._fault_plan)
         self._store = store
         self._workers = workers
+        self._retry = retry or RetryPolicy()
+        self._point_timeout_s = point_timeout_s
+        self._use_leases = bool(use_leases) and store is not None
+        self._lease_ttl_s = float(lease_ttl_s)
+        self._owner = owner
+        self._wait_poll_s = float(wait_poll_s)
+        self._wait_timeout_s = wait_timeout_s
+        self._allow_partial = bool(allow_partial)
 
     @property
     def store(self) -> Optional[CampaignStore]:
         return self._store
 
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
     def run(self, spec: CampaignSpec) -> CampaignRun:
         """Execute ``spec``: cached points load, pending points run.
 
-        Pending points are executed in shards over the process pool and
-        checkpointed to the store as each one completes (completion
-        order), then the full result list is assembled in spec order —
-        so the returned metrics are independent of pool scheduling and
-        a killed run resumes from whatever finished.
+        Pending points are claimed (lease protocol), executed in shards
+        over the process pool with per-attempt timeouts and retries,
+        and checkpointed to the store as each one completes; points
+        held by concurrent runners are awaited (and reclaimed if their
+        lease expires). The full result list is assembled in spec order
+        — returned metrics are independent of pool scheduling, lease
+        races, and retry history.
         """
         points = list(spec.points())
-        pending: List[Tuple[int, CampaignPoint]] = []
-        cached_payloads: Dict[int, Dict] = {}
+        hashes = [point.content_hash() for point in points]
+        outcome: Dict[int, CampaignPointResult] = {}
+        failures: Dict[int, CampaignPointFailure] = {}
+        attempts_done: Dict[int, int] = {}
+
+        pending: List[int] = []
         for index, point in enumerate(points):
             if self._store is not None and self._store.has(point):
-                cached_payloads[index] = self._store.load(point)
+                outcome[index] = self._cached_result(point)
             else:
-                pending.append((index, point))
+                pending.append(index)
 
-        computed: Dict[int, Tuple[Dict, Dict, float]] = {}
-        pool_workers = resolve_pool_workers(self._workers)
-        if pool_workers and len(pending) > 1:
-            with ProcessPoolExecutor(max_workers=pool_workers) as pool:
-                futures = {
-                    pool.submit(_execute_point_timed, point): (index, point)
-                    for index, point in pending
-                }
-                for future in as_completed(futures):
-                    index, point = futures[future]
-                    metrics_dict, provenance, elapsed = future.result()
-                    computed[index] = (metrics_dict, provenance, elapsed)
-                    self._checkpoint(
-                        point, metrics_dict, provenance, elapsed
+        leases = (
+            LeaseManager(
+                self._store.leases_dir,
+                owner=self._owner,
+                ttl_s=self._lease_ttl_s,
+            )
+            if self._use_leases
+            else None
+        )
+        heartbeat = (
+            HeartbeatThread(leases)
+            if leases is not None
+            else contextlib.nullcontext()
+        )
+        try:
+            with heartbeat:
+                pool_workers = resolve_pool_workers(self._workers)
+                if pool_workers and len(pending) > 1:
+                    pending = self._pool_phase(
+                        points,
+                        hashes,
+                        pending,
+                        pool_workers,
+                        outcome,
+                        attempts_done,
+                        leases,
                     )
-        else:
-            for index, point in pending:
-                started = time.perf_counter()
-                metrics_dict, provenance = execute_point(point)
-                elapsed = time.perf_counter() - started
-                computed[index] = (metrics_dict, provenance, elapsed)
-                self._checkpoint(point, metrics_dict, provenance, elapsed)
-
-        results: List[CampaignPointResult] = []
-        for index, point in enumerate(points):
-            if index in cached_payloads:
-                payload = cached_payloads[index]
-                results.append(
-                    CampaignPointResult(
-                        point=point,
-                        metrics=NetworkMetrics(**payload["metrics"]),
-                        provenance=dict(payload["provenance"]),
-                        cached=True,
-                        elapsed_s=0.0,
-                    )
+                self._serial_phase(
+                    points,
+                    hashes,
+                    pending,
+                    outcome,
+                    failures,
+                    attempts_done,
+                    leases,
                 )
+        finally:
+            if leases is not None:
+                leases.release_all()
+
+        if failures and not self._allow_partial:
+            summary = "; ".join(
+                f"{f.content_hash[:12]}… after "
+                f"{len(f.attempts)} attempts "
+                f"({f.attempts[-1]['error']}: {f.attempts[-1]['message']})"
+                for f in failures.values()
+            )
+            raise CampaignExecutionError(
+                f"{len(failures)} campaign point(s) failed permanently: "
+                f"{summary}"
+            )
+        results = [
+            outcome[index]
+            for index in range(len(points))
+            if index in outcome
+        ]
+        return CampaignRun(
+            spec=spec,
+            results=results,
+            failures=[failures[i] for i in sorted(failures)],
+        )
+
+    def _cached_result(self, point: CampaignPoint) -> CampaignPointResult:
+        payload = self._store.load(point)
+        return CampaignPointResult(
+            point=point,
+            metrics=NetworkMetrics(**payload["metrics"]),
+            provenance=dict(payload["provenance"]),
+            cached=True,
+            elapsed_s=0.0,
+            attempts=0,
+        )
+
+    def _pool_phase(
+        self,
+        points: List[CampaignPoint],
+        hashes: List[str],
+        pending: List[int],
+        pool_workers: int,
+        outcome: Dict[int, CampaignPointResult],
+        attempts_done: Dict[int, int],
+        leases: Optional[LeaseManager],
+    ) -> List[int]:
+        """First attempt of every claimable point over the pool.
+
+        Returns the indices still unresolved: points another runner
+        holds, plus points whose pool attempt crashed, timed out, or
+        was aborted by a broken pool — those retry serially with their
+        attempt count carried over. A hung or killed worker tears the
+        pool down (never waited on); the campaign degrades to serial
+        instead of dying.
+        """
+        claimable: List[int] = []
+        deferred: List[int] = []
+        for index in pending:
+            if leases is None or leases.acquire(hashes[index]):
+                claimable.append(index)
             else:
-                metrics_dict, provenance, elapsed = computed[index]
-                results.append(
-                    CampaignPointResult(
+                deferred.append(index)
+        if len(claimable) <= 1:
+            return sorted(deferred + claimable)
+
+        broken = False
+        pool = ProcessPoolExecutor(max_workers=pool_workers)
+        try:
+            futures = [
+                (
+                    index,
+                    pool.submit(
+                        _pool_execute,
+                        points[index],
+                        1,
+                        self._fault_plan,
+                    ),
+                )
+                for index in claimable
+            ]
+            for index, future in futures:
+                if broken:
+                    self._note_attempt_failure(
+                        points[index],
+                        hashes[index],
+                        attempts_done,
+                        index,
+                        "BrokenProcessPool",
+                        "pool torn down after an earlier fault",
+                        leases,
+                    )
+                    deferred.append(index)
+                    continue
+                try:
+                    metrics_dict, provenance, elapsed = future.result(
+                        timeout=self._point_timeout_s
+                    )
+                except FuturesTimeoutError:
+                    broken = True
+                    _terminate_pool(pool)
+                    self._note_attempt_failure(
+                        points[index],
+                        hashes[index],
+                        attempts_done,
+                        index,
+                        "PointTimeoutError",
+                        f"pool attempt exceeded "
+                        f"{self._point_timeout_s:g}s",
+                        leases,
+                    )
+                    deferred.append(index)
+                except BrokenProcessPool as error:
+                    broken = True
+                    self._note_attempt_failure(
+                        points[index],
+                        hashes[index],
+                        attempts_done,
+                        index,
+                        type(error).__name__,
+                        str(error) or "process pool broke",
+                        leases,
+                    )
+                    deferred.append(index)
+                except Exception as error:
+                    self._note_attempt_failure(
+                        points[index],
+                        hashes[index],
+                        attempts_done,
+                        index,
+                        type(error).__name__,
+                        str(error),
+                        leases,
+                    )
+                    deferred.append(index)
+                else:
+                    self._checkpoint(
+                        points[index], metrics_dict, provenance, elapsed
+                    )
+                    if leases is not None:
+                        leases.release(hashes[index])
+                    outcome[index] = CampaignPointResult(
+                        point=points[index],
+                        metrics=NetworkMetrics(**metrics_dict),
+                        provenance=provenance,
+                        cached=False,
+                        elapsed_s=elapsed,
+                        attempts=1,
+                    )
+        finally:
+            if broken:
+                _terminate_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+        return sorted(deferred)
+
+    def _note_attempt_failure(
+        self,
+        point: CampaignPoint,
+        content_hash: str,
+        attempts_done: Dict[int, int],
+        index: int,
+        error: str,
+        message: str,
+        leases: Optional[LeaseManager],
+    ) -> None:
+        attempts_done[index] = attempts_done.get(index, 0) + 1
+        if self._store is not None:
+            self._store.record_failure(
+                point,
+                [
+                    {
+                        "attempt": attempts_done[index],
+                        "error": error,
+                        "message": message[:500],
+                    }
+                ],
+                status="retrying",
+                owner=leases.owner if leases is not None else None,
+            )
+        if leases is not None:
+            leases.release(content_hash)
+
+    def _serial_phase(
+        self,
+        points: List[CampaignPoint],
+        hashes: List[str],
+        pending: List[int],
+        outcome: Dict[int, CampaignPointResult],
+        failures: Dict[int, CampaignPointFailure],
+        attempts_done: Dict[int, int],
+        leases: Optional[LeaseManager],
+    ) -> None:
+        """Serial execution + wait loop until every point resolves.
+
+        Each pass claims what it can and executes with retries; points
+        held by other runners are re-polled (a finished point loads
+        from the store, an expired lease is reclaimed). The loop always
+        terminates: every pass either makes progress or sleeps, and a
+        dead runner's leases expire within the TTL.
+        """
+        started = time.monotonic()
+        pending = list(pending)
+        while pending:
+            progressed = False
+            waiting: List[int] = []
+            for index in pending:
+                point, content_hash = points[index], hashes[index]
+                if self._store is not None and self._store.has(point):
+                    outcome[index] = self._cached_result(point)
+                    progressed = True
+                    continue
+                if leases is not None and not leases.acquire(content_hash):
+                    waiting.append(index)
+                    continue
+                start_attempt = attempts_done.get(index, 0) + 1
+                try:
+                    (
+                        metrics_dict,
+                        provenance,
+                        elapsed,
+                        n_attempts,
+                    ) = self._execute_with_retries(
+                        point, content_hash, start_attempt, leases
+                    )
+                    self._checkpoint(
+                        point,
+                        metrics_dict,
+                        provenance,
+                        elapsed,
+                        attempt=n_attempts,
+                    )
+                    outcome[index] = CampaignPointResult(
                         point=point,
                         metrics=NetworkMetrics(**metrics_dict),
                         provenance=provenance,
                         cached=False,
                         elapsed_s=elapsed,
+                        attempts=n_attempts,
                     )
+                except _PointFailed as failed:
+                    failures[index] = CampaignPointFailure(
+                        point=point,
+                        content_hash=content_hash,
+                        attempts=failed.attempts,
+                    )
+                finally:
+                    if leases is not None:
+                        leases.release(content_hash)
+                progressed = True
+            pending = waiting
+            if pending and not progressed:
+                if (
+                    self._wait_timeout_s is not None
+                    and time.monotonic() - started > self._wait_timeout_s
+                ):
+                    held = ", ".join(hashes[i][:12] + "…" for i in pending)
+                    raise CampaignExecutionError(
+                        f"timed out after {self._wait_timeout_s:g}s "
+                        f"waiting for points held by other runners: "
+                        f"{held}"
+                    )
+                time.sleep(self._wait_poll_s)
+
+    def _execute_with_retries(
+        self,
+        point: CampaignPoint,
+        content_hash: str,
+        start_attempt: int,
+        leases: Optional[LeaseManager],
+    ) -> Tuple[Dict, Dict, float, int]:
+        """One point through the retry loop; raises :class:`_PointFailed`
+        once the attempt budget is spent."""
+        attempts_record: List[Dict[str, object]] = []
+        attempt = start_attempt
+        point_fields = point.to_dict()
+        owner = leases.owner if leases is not None else None
+        while True:
+            started = time.perf_counter()
+
+            def attempt_once():
+                if self._fault_plan is not None:
+                    self._fault_plan.fire_execute(
+                        point_fields, content_hash, attempt
+                    )
+                return execute_point(point)
+
+            try:
+                metrics_dict, provenance = _call_with_timeout(
+                    attempt_once, self._point_timeout_s
                 )
-        return CampaignRun(spec=spec, results=results)
+            except Exception as error:
+                elapsed = time.perf_counter() - started
+                attempts_record.append(
+                    {
+                        "attempt": attempt,
+                        "error": type(error).__name__,
+                        "message": str(error)[:500],
+                        "elapsed_s": round(elapsed, 6),
+                    }
+                )
+                # The budget counts *total* attempts on this point in
+                # this run, pool attempts included.
+                exhausted = attempt >= self._retry.max_attempts
+                if self._store is not None:
+                    self._store.record_failure(
+                        point,
+                        attempts_record,
+                        status="failed" if exhausted else "retrying",
+                        owner=owner,
+                    )
+                if exhausted:
+                    raise _PointFailed(attempts_record) from error
+                backoff = self._retry.backoff_s(content_hash, attempt)
+                attempts_record[-1]["backoff_s"] = round(backoff, 6)
+                time.sleep(backoff)
+                attempt += 1
+                continue
+            elapsed = time.perf_counter() - started
+            _log_execution(content_hash)
+            # ``attempt`` is the global (pool + serial) attempt number
+            # that succeeded — reported on the result and used as the
+            # write-stage fault-injection attempt.
+            return metrics_dict, provenance, elapsed, attempt
 
     def _checkpoint(
         self,
@@ -227,10 +760,15 @@ class CampaignRunner:
         metrics_dict: Dict,
         provenance: Dict,
         elapsed_s: float,
+        attempt: int = 1,
     ) -> None:
         if self._store is not None:
             self._store.save(
-                point, metrics_dict, provenance, elapsed_s=elapsed_s
+                point,
+                metrics_dict,
+                provenance,
+                elapsed_s=elapsed_s,
+                attempt=attempt,
             )
 
 
@@ -250,9 +788,12 @@ def run_campaign_sweep(
 
 
 __all__ = [
+    "EXEC_LOG_ENV",
+    "CampaignPointFailure",
     "CampaignPointResult",
     "CampaignRun",
     "CampaignRunner",
+    "RetryPolicy",
     "build_deployment",
     "execute_point",
     "run_campaign_sweep",

@@ -39,3 +39,29 @@ class HardwareModelError(ReproError):
 
 class ProtocolError(ReproError):
     """A protocol message is malformed or arrived in an invalid state."""
+
+
+class CampaignError(ReproError):
+    """Base class for campaign-layer failures (execution, storage, leases)."""
+
+
+class CampaignExecutionError(CampaignError):
+    """One or more campaign points failed permanently (retries exhausted)."""
+
+
+class CampaignIntegrityError(CampaignError):
+    """A stored campaign chunk is corrupt (torn, undecodable, or its
+    content hash disagrees with its name); the chunk has been quarantined."""
+
+
+class LeaseError(CampaignError):
+    """A lease operation hit an inconsistent on-disk state."""
+
+
+class PointTimeoutError(CampaignError):
+    """A campaign point exceeded its per-point execution timeout."""
+
+
+class FaultInjectedError(CampaignError):
+    """A synthetic failure raised by the deterministic fault-injection
+    harness (:mod:`repro.campaign.faults`) — never by real physics."""

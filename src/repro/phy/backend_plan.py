@@ -101,6 +101,7 @@ True
 from __future__ import annotations
 
 import json
+import logging
 import os
 import platform
 import tempfile
@@ -112,6 +113,8 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.errors import ConfigurationError
+
+logger = logging.getLogger(__name__)
 
 #: Backend names, in the order the planner reports their costs.
 BACKENDS = ("analytic", "sparse", "fft")
@@ -269,13 +272,44 @@ def _default_calibration_path() -> Optional[Path]:
 
 
 def _load_coefficients(path: Path) -> Optional[CalibrationCoefficients]:
-    """Previously persisted coefficients, or ``None`` if unusable."""
+    """Previously persisted coefficients, or ``None`` if unusable.
+
+    A corrupt or truncated calibration file (torn write, disk fault)
+    must never abort planning: it is logged and discarded so
+    :func:`host_planner` re-calibrates and rewrites a valid file.
+    """
     try:
-        data = json.loads(path.read_text())
-        if data.get("schema") != _SCHEMA:
-            return None
+        text = path.read_text()
+    except OSError:
+        return None  # missing/unreadable: plain cache miss, no noise
+    try:
+        data = json.loads(text)
+    except ValueError as error:
+        logger.warning(
+            "backend calibration file %s is corrupt (%s); "
+            "discarding it and re-calibrating",
+            path,
+            error,
+        )
+        return None
+    if not isinstance(data, dict) or data.get("schema") != _SCHEMA:
+        logger.info(
+            "backend calibration file %s carries schema %r "
+            "(expected %r); re-calibrating",
+            path,
+            data.get("schema") if isinstance(data, dict) else type(data),
+            _SCHEMA,
+        )
+        return None
+    try:
         return CalibrationCoefficients(**data["coefficients"])
-    except (OSError, ValueError, TypeError, KeyError, ConfigurationError):
+    except (TypeError, KeyError, ConfigurationError) as error:
+        logger.warning(
+            "backend calibration file %s has unusable coefficients "
+            "(%s); re-calibrating",
+            path,
+            error,
+        )
         return None
 
 

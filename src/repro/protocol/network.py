@@ -49,8 +49,10 @@ benchmarking and statistical-equivalence tests.
 
 from __future__ import annotations
 
+import logging
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -717,6 +719,35 @@ def sweep_device_counts(
         )
     pool_workers = resolve_pool_workers(workers)
     if pool_workers:
-        with ProcessPoolExecutor(max_workers=pool_workers) as pool:
-            return list(pool.map(_run_sweep_point, jobs))
+        return _pool_map_with_serial_fallback(jobs, pool_workers)
     return [_run_sweep_point(job) for job in jobs]
+
+
+def _pool_map_with_serial_fallback(
+    jobs: List[tuple], pool_workers: int
+) -> List[NetworkMetrics]:
+    """Run sweep jobs over the pool; finish serially if the pool breaks.
+
+    A worker killed mid-sweep (OOM, signal, injected fault) raises
+    :class:`BrokenProcessPool` for every outstanding job. Results
+    already collected are kept — every point owns a pre-derived seed,
+    so serially recomputing the remainder is bit-identical to what the
+    lost workers would have produced — and the sweep completes instead
+    of dying. The degradation is logged, never silent.
+    """
+    results: List[NetworkMetrics] = []
+    try:
+        with ProcessPoolExecutor(max_workers=pool_workers) as pool:
+            for metrics in pool.map(_run_sweep_point, jobs):
+                results.append(metrics)
+    except BrokenProcessPool:
+        logging.getLogger(__name__).warning(
+            "process pool broke after %d/%d sweep points; "
+            "finishing the remaining points serially",
+            len(results),
+            len(jobs),
+        )
+        results.extend(
+            _run_sweep_point(job) for job in jobs[len(results) :]
+        )
+    return results

@@ -141,6 +141,27 @@ class TestCalibration:
         path.write_text(json.dumps({"schema": "other", "coefficients": {}}))
         assert _load_coefficients(path) is None
 
+    def test_corrupt_file_logs_and_recalibrates(
+        self, tmp_path, monkeypatch, caplog
+    ):
+        # A torn/corrupt $REPRO_BACKEND_CALIBRATION must log a warning
+        # and fall through to a fresh calibration, never raise.
+        import repro.phy.backend_plan as plan_module
+
+        path = tmp_path / "host.json"
+        path.write_text('{"schema": "repro-backend-c')  # torn write
+        monkeypatch.setenv("REPRO_BACKEND_CALIBRATION", str(path))
+        monkeypatch.setattr(plan_module, "_HOST_PLANNER", None)
+        with caplog.at_level("WARNING", logger="repro.phy.backend_plan"):
+            planner = host_planner()
+        assert any(
+            "re-calibrating" in record.message
+            for record in caplog.records
+        )
+        assert planner.coefficients is not None
+        # The re-calibration overwrote the corrupt file with a valid one.
+        assert _load_coefficients(path) == planner.coefficients
+
     def test_host_planner_persists_once(self, tmp_path, monkeypatch):
         import repro.phy.backend_plan as plan_module
 

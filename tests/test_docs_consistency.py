@@ -32,6 +32,8 @@ DOCUMENTED_MODULES = [
     "repro.phy.noise",
     "repro.campaign.spec",
     "repro.campaign.store",
+    "repro.campaign.faults",
+    "repro.campaign.runner",
 ]
 
 #: Load-bearing anchors per documentation file: strings that must keep
@@ -61,6 +63,10 @@ DOC_ANCHORS = {
         "resolve_pool_workers",
         "child_seed",
         "python -m repro.campaign",
+        "REPRO_FAULT_PLAN",
+        "RetryPolicy",
+        "quarantine",
+        "leases/<hash>.lease",
     ],
     "README.md": [
         "docs/PERFORMANCE.md",
@@ -69,6 +75,8 @@ DOC_ANCHORS = {
         "BENCH_fastpath.json",
         "python -m repro.campaign",
         ".github/workflows/ci.yml",
+        "REPRO_FAULT_PLAN",
+        "timeout-minutes",
     ],
 }
 
@@ -86,8 +94,20 @@ class TestCiPipeline:
             "perf_smoke.py --quick",
             "REPRO_BACKEND_CALIBRATION",
             "validate_report",
+            "REPRO_FAULT_PLAN",
+            "fault-injection",
         ):
             assert anchor in text, f"ci.yml lost {anchor!r}"
+
+    def test_every_job_is_time_bounded(self):
+        # A hung job must never burn a runner's 6-hour default: each
+        # job carries an explicit timeout-minutes bound.
+        text = (
+            REPO_ROOT / ".github" / "workflows" / "ci.yml"
+        ).read_text()
+        n_jobs = text.count("runs-on:")
+        assert n_jobs >= 4
+        assert text.count("timeout-minutes:") == n_jobs
 
     def test_ruff_config_present(self):
         text = (REPO_ROOT / "pyproject.toml").read_text()

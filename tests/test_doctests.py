@@ -10,6 +10,8 @@ import doctest
 
 import pytest
 
+import repro.campaign.faults
+import repro.campaign.runner
 import repro.campaign.spec
 import repro.campaign.store
 import repro.phy.backend_plan
@@ -26,6 +28,8 @@ MODULES_WITH_DOCTESTS = [
     repro.phy.noise,
     repro.campaign.spec,
     repro.campaign.store,
+    repro.campaign.faults,
+    repro.campaign.runner,
 ]
 
 
