@@ -16,9 +16,14 @@ declarative, cacheable artifacts:
   per-point timeouts, and broken-pool → serial degradation;
 * :mod:`repro.campaign.leases` — the point claim/heartbeat/expiry
   protocol letting N concurrent runners partition one store;
+* :mod:`repro.campaign.storage` — the pluggable
+  :class:`StorageDriver` layer every byte of campaign state flows
+  through (posix with fsync-on-commit, in-memory, fault-injecting),
+  with bounded per-operation retries and seeded-jitter backoff;
 * :mod:`repro.campaign.faults` — deterministic fault injection
-  (:class:`FaultPlan` / ``REPRO_FAULT_PLAN``) exercising every
-  recovery path above in CI;
+  (:class:`FaultPlan` / ``REPRO_FAULT_PLAN``, :class:`StorageFaultPlan`
+  / ``REPRO_STORAGE_FAULT_PLAN``) exercising every recovery path
+  above in CI;
 * :mod:`repro.campaign.presets` — builtin specs matching the Fig.
   17/18 drivers seed for seed;
 * ``python -m repro.campaign`` — ``run`` / ``status`` / ``export``.
@@ -26,8 +31,21 @@ declarative, cacheable artifacts:
 See the Campaign layer sections of ``docs/ARCHITECTURE.md``.
 """
 
-from repro.campaign.faults import FaultPlan, FaultRule
+from repro.campaign.faults import (
+    FaultPlan,
+    FaultRule,
+    StorageFaultPlan,
+    StorageFaultRule,
+)
 from repro.campaign.leases import LeaseManager
+from repro.campaign.storage import (
+    FaultyDriver,
+    MemoryDriver,
+    PosixDriver,
+    RetryingDriver,
+    StorageDriver,
+    StorageRetryPolicy,
+)
 from repro.campaign.presets import (
     PRESETS,
     build_preset,
@@ -57,9 +75,17 @@ __all__ = [
     "CampaignStore",
     "FaultPlan",
     "FaultRule",
+    "FaultyDriver",
     "LeaseManager",
+    "MemoryDriver",
     "PRESETS",
+    "PosixDriver",
     "RetryPolicy",
+    "RetryingDriver",
+    "StorageDriver",
+    "StorageFaultPlan",
+    "StorageFaultRule",
+    "StorageRetryPolicy",
     "build_preset",
     "derive_seeds",
     "execute_point",

@@ -19,9 +19,17 @@ Usage::
     python -m repro.campaign run --spec fig17 --store runs/fig17 \\
         --timeout-s 120 --max-attempts 5 --fault-plan plan.json
 
+    # storage drivers: posix (default, fsync-durable), memory
+    # (ephemeral smoke runs), faulty (posix + injected storage faults
+    # from a seeded plan; also honours $REPRO_STORAGE_FAULT_PLAN)
+    python -m repro.campaign run --spec fig17 --store runs/fig17 \\
+        --storage-driver faulty --storage-fault-plan storage-plan.json
+
     # what the store holds / the merged results table (status includes
-    # leased/failed/quarantined counts)
+    # leased/failed/quarantined counts and per-driver I/O stats;
+    # --json emits one compact machine-readable line)
     python -m repro.campaign status --store runs/fig17
+    python -m repro.campaign status --store runs/fig17 --json
     python -m repro.campaign export --store runs/fig17 --format csv
 
 Concurrent runners: multiple ``run`` invocations may target the same
@@ -40,12 +48,17 @@ import sys
 import time
 from pathlib import Path
 
-from repro.campaign.faults import FaultPlan
+from repro.campaign.faults import FaultPlan, StorageFaultPlan
 from repro.campaign.presets import PRESETS, build_preset
 from repro.campaign.runner import CampaignRunner, RetryPolicy
 from repro.campaign.spec import CampaignSpec
+from repro.campaign.storage import DRIVER_NAMES, build_driver
 from repro.campaign.store import CampaignStore
-from repro.errors import CampaignExecutionError, ReproError
+from repro.errors import (
+    CampaignExecutionError,
+    ReproError,
+    StorageError,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -138,9 +151,32 @@ def _build_parser() -> argparse.ArgumentParser:
             "(test/CI harness; also honours $REPRO_FAULT_PLAN)"
         ),
     )
+    run.add_argument(
+        "--storage-driver",
+        choices=DRIVER_NAMES,
+        default="posix",
+        help=(
+            "storage backend: posix (durable, default), memory "
+            "(ephemeral), faulty (posix + injected storage faults)"
+        ),
+    )
+    run.add_argument(
+        "--storage-fault-plan",
+        default=None,
+        help=(
+            "storage fault-injection plan: inline JSON or a path; "
+            "implies a fault-injecting driver (test/CI harness; also "
+            "honours $REPRO_STORAGE_FAULT_PLAN)"
+        ),
+    )
 
     status = sub.add_parser("status", help="summarise a store")
     status.add_argument("--store", required=True)
+    status.add_argument(
+        "--json",
+        action="store_true",
+        help="one compact JSON line (machine-readable fleet monitoring)",
+    )
 
     export = sub.add_parser(
         "export", help="merged per-point results table from a store"
@@ -208,10 +244,26 @@ def _cmd_run(args) -> int:
             if raw.startswith("{")
             else FaultPlan.from_file(raw)
         )
-    store = CampaignStore(args.store, fault_plan=fault_plan)
+    storage_plan = None
+    if args.storage_fault_plan is not None:
+        raw = args.storage_fault_plan.strip()
+        storage_plan = (
+            StorageFaultPlan.from_json(raw)
+            if raw.startswith("{")
+            else StorageFaultPlan.from_file(raw)
+        )
+    driver = build_driver(
+        args.storage_driver, args.store, storage_fault_plan=storage_plan
+    )
+    store = CampaignStore(fault_plan=fault_plan, driver=driver)
+    store_label = store.root if store.root is not None else driver.name
     if args.save_spec:
-        (store.root / "spec.json").write_text(
-            json.dumps(spec.to_dict(), indent=2, sort_keys=True) + "\n"
+        store.driver.put_atomic(
+            "spec.json",
+            (
+                json.dumps(spec.to_dict(), indent=2, sort_keys=True)
+                + "\n"
+            ).encode("utf-8"),
         )
     runner_kwargs = {}
     if args.max_attempts is not None:
@@ -230,22 +282,25 @@ def _cmd_run(args) -> int:
     started = time.perf_counter()
     try:
         run = runner.run(spec)
-    except CampaignExecutionError as error:
+    except (CampaignExecutionError, StorageError) as error:
         print(f"campaign {spec.name!r} FAILED: {error}", file=sys.stderr)
         print(
             "  (failure records are under "
-            f"{store.root / 'failures'}; re-run to retry, or pass "
+            f"{store_label}/failures; re-run to retry, or pass "
             "--allow-partial to collect what succeeded)",
             file=sys.stderr,
         )
         return 1
     elapsed = time.perf_counter() - started
     failed_note = f", {run.n_failed} failed" if run.failures else ""
+    degraded_note = (
+        ", storage DEGRADED to read-only" if run.storage_degraded else ""
+    )
     print(
         f"campaign {spec.name!r}: {len(run.results)} points "
         f"({run.n_cached} cached, {run.n_computed} computed"
-        f"{failed_note}) "
-        f"in {elapsed:.2f}s -> {store.root}"
+        f"{failed_note}{degraded_note}) "
+        f"in {elapsed:.2f}s -> {store_label}"
     )
     for result in run.results:
         point = result.point
@@ -274,7 +329,11 @@ def _cmd_run(args) -> int:
 
 def _cmd_status(args) -> int:
     status = CampaignStore(args.store).status()
-    print(json.dumps(status, indent=2, sort_keys=True))
+    if args.json:
+        # One compact line: fleet monitors tail many stores at once.
+        print(json.dumps(status, separators=(",", ":"), sort_keys=True))
+    else:
+        print(json.dumps(status, indent=2, sort_keys=True))
     return 0
 
 

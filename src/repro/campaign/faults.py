@@ -305,10 +305,211 @@ def tear_file(path) -> None:
     path.write_bytes(data[: max(1, len(data) // 2)])
 
 
+# ---------------------------------------------------------------------- #
+# storage-layer fault plans (consumed by storage.FaultyDriver)
+# ---------------------------------------------------------------------- #
+
+#: Environment variable carrying a storage fault plan (inline JSON or a
+#: path), the storage-layer sibling of ``REPRO_FAULT_PLAN``.
+STORAGE_FAULT_PLAN_ENV = "REPRO_STORAGE_FAULT_PLAN"
+
+STORAGE_PLAN_SCHEMA = "repro-storage-fault-plan-v1"
+
+#: Driver operations a storage rule may target (``None``/``"*"`` = any).
+STORAGE_OPS = (
+    "get",
+    "put_atomic",
+    "put_exclusive",
+    "replace",
+    "delete",
+    "list",
+    "exists",
+    "stat",
+    "rename",
+)
+
+#: ``error``/``persistent`` raise Transient-/PersistentStorageError
+#: before the operation runs; ``hang`` sleeps ``hang_s`` then proceeds;
+#: ``torn`` (write operations only) lands a truncated payload — raising
+#: TransientStorageError unless ``silent`` (the undetected-crash case).
+STORAGE_KINDS = ("error", "persistent", "torn", "hang")
+
+#: Write operations eligible for ``torn`` faults.
+STORAGE_WRITE_OPS = ("put_atomic", "put_exclusive", "replace")
+
+
+@dataclass(frozen=True)
+class StorageFaultRule:
+    """One deterministic storage fault: which driver calls, what breaks.
+
+    A rule selects calls by operation (``op``, ``None`` = any) and key
+    prefix, then fires either on explicit 1-based *matching-call*
+    indices (``calls``) or with seeded per-call probability ``p``
+    (derived from the plan seed, the op, the key, and the call index —
+    reproducible, no shared randomness). ``max_fires`` bounds the total
+    injections so probabilistic plans always let a retried operation
+    through eventually.
+    """
+
+    kind: str
+    op: Optional[str] = None
+    key_prefix: str = ""
+    calls: Optional[Tuple[int, ...]] = None
+    p: Optional[float] = None
+    max_fires: Optional[int] = None
+    hang_s: float = 0.05
+    offset: Optional[int] = None  # torn: bytes kept (None = half)
+    silent: bool = False  # torn lands without raising
+
+    def __post_init__(self) -> None:
+        if self.kind not in STORAGE_KINDS:
+            raise ConfigurationError(
+                f"storage fault kind must be one of {STORAGE_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        op = None if self.op in (None, "*") else self.op
+        if op is not None and op not in STORAGE_OPS:
+            raise ConfigurationError(
+                f"storage fault op must be one of {STORAGE_OPS} or "
+                f"'*', got {self.op!r}"
+            )
+        object.__setattr__(self, "op", op)
+        if self.kind == "torn" and op is not None and (
+            op not in STORAGE_WRITE_OPS
+        ):
+            raise ConfigurationError(
+                f"'torn' storage faults only apply to write operations "
+                f"{STORAGE_WRITE_OPS}, got op={op!r}"
+            )
+        if self.calls is not None and self.p is not None:
+            raise ConfigurationError(
+                "a storage fault rule takes 'calls' or 'p', not both"
+            )
+        if self.p is not None and not 0.0 <= float(self.p) <= 1.0:
+            raise ConfigurationError("storage fault p must be in [0, 1]")
+        if self.calls is None and self.p is None:
+            object.__setattr__(self, "calls", (1,))
+        if self.calls is not None:
+            object.__setattr__(
+                self, "calls", tuple(int(c) for c in self.calls)
+            )
+
+    def selects(self, op: str, key: str) -> bool:
+        """True when this rule's (op, key-prefix) selector matches."""
+        if self.op is not None and self.op != op:
+            return False
+        return key.startswith(self.key_prefix)
+
+
+@dataclass(frozen=True)
+class StorageFaultPlan:
+    """A seeded, declarative set of storage-driver fault rules.
+
+    The storage-layer extension of :class:`FaultPlan`: consumed by
+    :class:`repro.campaign.storage.FaultyDriver`, shipped to
+    subprocess-launched runners via ``REPRO_STORAGE_FAULT_PLAN``
+    (inline JSON or a file path) and to the CLI via
+    ``--storage-fault-plan``.
+
+    >>> plan = StorageFaultPlan.from_json(
+    ...     '{"schema": "repro-storage-fault-plan-v1", "rules": ['
+    ...     '{"op": "put_atomic", "key_prefix": "points/",'
+    ...     ' "kind": "torn", "calls": [1]}]}')
+    >>> plan.rules[0].selects("put_atomic", "points/abc.json")
+    True
+    >>> plan.rules[0].selects("get", "points/abc.json")
+    False
+    >>> StorageFaultPlan.from_json(
+    ...     json.dumps(plan.to_dict())) == plan  # JSON round trip
+    True
+    """
+
+    rules: Tuple[StorageFaultRule, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "StorageFaultPlan":
+        payload = dict(data)
+        schema = payload.pop("schema", STORAGE_PLAN_SCHEMA)
+        if schema != STORAGE_PLAN_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported storage fault plan schema {schema!r}"
+            )
+        rules = tuple(
+            StorageFaultRule(**dict(rule))
+            for rule in payload.pop("rules", ())
+        )
+        seed = int(payload.pop("seed", 0))
+        if payload:
+            raise ConfigurationError(
+                f"unknown storage fault plan keys {sorted(payload)}"
+            )
+        return cls(rules=rules, seed=seed)
+
+    @classmethod
+    def from_json(cls, text: str) -> "StorageFaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path) -> "StorageFaultPlan":
+        return cls.from_json(Path(path).read_text())
+
+    @classmethod
+    def from_env(cls) -> Optional["StorageFaultPlan"]:
+        """The ambient plan (``REPRO_STORAGE_FAULT_PLAN``), or ``None``."""
+        raw = os.environ.get(STORAGE_FAULT_PLAN_ENV, "").strip()
+        if not raw:
+            return None
+        if raw.startswith("{"):
+            return cls.from_json(raw)
+        return cls.from_file(raw)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": STORAGE_PLAN_SCHEMA,
+            "seed": self.seed,
+            "rules": [
+                {
+                    "kind": rule.kind,
+                    "op": rule.op,
+                    "key_prefix": rule.key_prefix,
+                    "calls": (
+                        list(rule.calls) if rule.calls is not None else None
+                    ),
+                    "p": rule.p,
+                    "max_fires": rule.max_fires,
+                    "hang_s": rule.hang_s,
+                    "offset": rule.offset,
+                    "silent": rule.silent,
+                }
+                for rule in self.rules
+            ],
+        }
+
+    def unit(self, op: str, key: str, call_index: int) -> float:
+        """Seeded uniform draw in [0, 1) for one (op, key, call)."""
+        import hashlib
+
+        digest = hashlib.sha256(
+            f"{self.seed}:{op}:{key}:{call_index}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
 __all__ = [
     "FAULT_PLAN_ENV",
     "PLAN_SCHEMA",
+    "STORAGE_FAULT_PLAN_ENV",
+    "STORAGE_KINDS",
+    "STORAGE_OPS",
+    "STORAGE_PLAN_SCHEMA",
+    "STORAGE_WRITE_OPS",
     "FaultPlan",
     "FaultRule",
+    "StorageFaultPlan",
+    "StorageFaultRule",
     "tear_file",
 ]

@@ -11,22 +11,32 @@ recomputes a point whose chunk write is idempotent (bit-identical
 content under the same hash). Leases only prevent wasted duplicate
 computation and give ``status`` a live "running" view.
 
-Protocol (one file per claimed point, ``leases/<hash>.lease``):
+Protocol (one key per claimed point, ``<hash>.lease``), expressed
+entirely in :class:`~repro.campaign.storage.StorageDriver` primitives
+so it works unchanged over posix, memory, or a future remote backend:
 
-* **Claim** — create the lease file with ``O_CREAT | O_EXCL`` (atomic
-  on POSIX and NT): exactly one worker wins a vacant point.
-* **Heartbeat** — the owner periodically rewrites the lease (tmp +
-  ``os.replace``) pushing the deadline forward; deadlines only ever
-  move forward (monotone renewal), never backward.
+* **Claim** — ``put_exclusive`` (atomic create-if-absent): exactly one
+  worker wins a vacant point.
+* **Heartbeat** — the owner periodically rewrites the lease with
+  ``replace`` pushing the deadline forward; deadlines only ever move
+  forward (monotone renewal), never backward.
 * **Expiry/steal** — a lease whose deadline has passed (or that is
-  unreadable) is dead: a claimant *replaces* it atomically and then
-  reads the file back; whoever's owner id survived the replace owns
-  the point. Replace-then-verify means two simultaneous stealers
-  resolve to exactly one winner.
-* **Release** — the owner unlinks the file after checkpointing the
-  chunk (or on failure, so other workers may try).
+  unreadable) is dead: a claimant ``replace``\\ s it atomically and
+  then reads the key back; whoever's owner id survived the replace
+  owns the point. Replace-then-read-back means two simultaneous
+  stealers resolve to exactly one winner (the driver contract's
+  read-your-writes guarantee makes the read-back decisive).
+* **Release** — the owner ``delete``\\ s the key after checkpointing
+  the chunk (or on failure, so other workers may try).
 
-Deadlines are wall-clock (:func:`time.time`): lease files must be
+Storage faults never corrupt the protocol: a claim that hits a
+transient driver error is simply *not acquired* (the point is skipped
+this pass and revisited), and a torn lease payload reads as expired.
+The heartbeat thread survives transient faults too — it logs once and
+retries every tick, giving up only after a full TTL of continuous
+failure (at which point the lease is legitimately stealable anyway).
+
+Deadlines are wall-clock (:func:`time.time`): lease payloads must be
 comparable *across processes and hosts*, where monotonic clocks have
 no common epoch. The TTL should comfortably exceed the heartbeat
 interval (the runner heartbeats at ``ttl/3``), so ordinary clock skew
@@ -36,13 +46,19 @@ is absorbed by the margin.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import socket
 import threading
 import time
 import uuid
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
+
+from repro.campaign.storage import PosixDriver, StorageDriver
+from repro.errors import StorageError, StorageMissingError
+
+log = logging.getLogger("repro.campaign.leases")
 
 LEASE_SCHEMA = "repro-campaign-lease-v1"
 
@@ -57,23 +73,38 @@ def default_owner_id() -> str:
     return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
 
 
-def read_lease(path) -> Optional[Dict[str, object]]:
-    """The lease payload at ``path``, or ``None`` if missing/unreadable.
+def parse_lease(data: bytes) -> Optional[Dict[str, object]]:
+    """Decode one lease payload, or ``None`` when torn/foreign.
 
-    An unreadable (torn) lease is treated as expired by callers — the
+    An undecodable payload is treated as expired by callers — the
     claim protocol then replaces it atomically.
     """
     try:
-        data = json.loads(Path(path).read_text())
-    except (OSError, ValueError):
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
         return None
-    if not isinstance(data, dict) or data.get("schema") != LEASE_SCHEMA:
+    if (
+        not isinstance(payload, dict)
+        or payload.get("schema") != LEASE_SCHEMA
+    ):
         return None
-    return data
+    return payload
+
+
+def read_lease(path) -> Optional[Dict[str, object]]:
+    """The lease payload at filesystem ``path``, or ``None`` if
+    missing/unreadable (kept for posix tooling; the manager itself
+    reads through its driver)."""
+    try:
+        data = Path(path).read_bytes()
+    except OSError:
+        return None
+    return parse_lease(data)
 
 
 def scan_leases(directory) -> List[Dict[str, object]]:
-    """All readable leases under ``directory`` (may include expired)."""
+    """All readable leases under a posix ``directory`` (may include
+    expired)."""
     directory = Path(directory)
     if not directory.is_dir():
         return []
@@ -85,13 +116,37 @@ def scan_leases(directory) -> List[Dict[str, object]]:
     return leases
 
 
+def scan_lease_backend(driver: StorageDriver) -> List[Dict[str, object]]:
+    """All readable leases in a lease-scoped driver (may include
+    expired). Torn or concurrently-deleted entries are skipped."""
+    leases = []
+    try:
+        keys = driver.list()
+    except StorageError:
+        return []
+    for key in keys:
+        if not key.endswith(".lease"):
+            continue
+        try:
+            payload = parse_lease(driver.get(key))
+        except StorageError:
+            continue
+        if payload is not None:
+            leases.append(payload)
+    return leases
+
+
 class LeaseManager:
-    """Claim, renew, and release point leases in one directory.
+    """Claim, renew, and release point leases in one backend.
 
     Parameters
     ----------
-    directory:
-        The lease directory (``<store>/leases``), created on demand.
+    backend:
+        Either a lease-scoped :class:`~repro.campaign.storage.
+        StorageDriver` (the store hands out its ``lease_backend``), or
+        a filesystem directory (``<store>/leases``) which is wrapped
+        in a :class:`~repro.campaign.storage.PosixDriver` — the
+        pre-driver call sites keep working.
     owner:
         Stable id stamped into every lease this manager writes.
     ttl_s:
@@ -100,13 +155,16 @@ class LeaseManager:
 
     def __init__(
         self,
-        directory,
+        backend: Union[StorageDriver, str, "os.PathLike[str]"],
         owner: Optional[str] = None,
         ttl_s: float = DEFAULT_TTL_S,
     ) -> None:
         if ttl_s <= 0:
             raise ValueError(f"lease ttl must be positive, got {ttl_s}")
-        self._dir = Path(directory)
+        if isinstance(backend, StorageDriver):
+            self._driver = backend
+        else:
+            self._driver = PosixDriver(backend)
         self._owner = owner or default_owner_id()
         self._ttl_s = float(ttl_s)
         self._held: Dict[str, int] = {}  # hash -> renewal count
@@ -121,16 +179,20 @@ class LeaseManager:
         return self._ttl_s
 
     @property
+    def backend(self) -> StorageDriver:
+        return self._driver
+
+    @property
     def held(self) -> List[str]:
         with self._lock:
             return sorted(self._held)
 
-    def _path(self, content_hash: str) -> Path:
-        return self._dir / f"{content_hash}.lease"
+    def _key(self, content_hash: str) -> str:
+        return f"{content_hash}.lease"
 
-    def _payload(self, content_hash: str, renewals: int) -> str:
+    def _payload(self, content_hash: str, renewals: int) -> bytes:
         now = time.time()
-        return json.dumps(
+        text = json.dumps(
             {
                 "schema": LEASE_SCHEMA,
                 "content_hash": content_hash,
@@ -143,15 +205,17 @@ class LeaseManager:
             },
             sort_keys=True,
         )
+        return (text + "\n").encode("utf-8")
 
-    def _replace(self, content_hash: str, renewals: int) -> None:
-        """Atomically (re)write the lease file with a fresh deadline."""
-        path = self._path(content_hash)
-        tmp = path.with_name(
-            f"{path.name}.{self._owner}.{uuid.uuid4().hex[:6]}.tmp"
-        )
-        tmp.write_text(self._payload(content_hash, renewals) + "\n")
-        os.replace(tmp, path)
+    def _read(self, content_hash: str) -> Optional[Dict[str, object]]:
+        """Current lease payload, or ``None`` when vacant/torn/unreadable."""
+        try:
+            data = self._driver.get(self._key(content_hash))
+        except StorageMissingError:
+            return None
+        except StorageError:
+            return None
+        return parse_lease(data)
 
     # ------------------------------------------------------------------ #
     # protocol
@@ -162,33 +226,38 @@ class LeaseManager:
 
         Vacant points are claimed with an exclusive create. A live
         lease by another owner loses the claim. An expired or
-        unreadable lease is stolen with replace-then-verify: after the
-        atomic replace the file is read back, and only the owner whose
-        payload survived wins — simultaneous stealers resolve to one.
+        unreadable lease is stolen with replace-then-read-back: after
+        the atomic replace the key is read back, and only the owner
+        whose payload survived wins — simultaneous stealers resolve to
+        one. A storage fault mid-claim simply loses the claim (the
+        point is revisited on a later pass); it never corrupts state.
         """
-        self._dir.mkdir(parents=True, exist_ok=True)
-        path = self._path(content_hash)
+        key = self._key(content_hash)
         try:
-            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-        except FileExistsError:
-            pass
-        else:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(self._payload(content_hash, 0) + "\n")
-            with self._lock:
-                self._held[content_hash] = 0
-            return True
+            if self._driver.put_exclusive(
+                key, self._payload(content_hash, 0)
+            ):
+                with self._lock:
+                    self._held[content_hash] = 0
+                return True
 
-        current = read_lease(path)
-        if (
-            current is not None
-            and float(current.get("deadline", 0.0)) > time.time()
-            and current.get("owner") != self._owner
-        ):
-            return False  # live lease held elsewhere
-        # Expired, torn, or our own stale file: steal and verify.
-        self._replace(content_hash, 0)
-        winner = read_lease(path)
+            current = self._read(content_hash)
+            if (
+                current is not None
+                and float(current.get("deadline", 0.0)) > time.time()
+                and current.get("owner") != self._owner
+            ):
+                return False  # live lease held elsewhere
+            # Expired, torn, or our own stale entry: steal and verify.
+            self._driver.replace(key, self._payload(content_hash, 0))
+            winner = self._read(content_hash)
+        except StorageError as error:
+            log.debug(
+                "lease claim on %s lost to storage fault: %s",
+                content_hash,
+                error,
+            )
+            return False
         if winner is not None and winner.get("owner") == self._owner:
             with self._lock:
                 self._held[content_hash] = 0
@@ -196,8 +265,13 @@ class LeaseManager:
         return False
 
     def renew(self, content_hash: str) -> bool:
-        """Heartbeat one held lease; False when it was lost (stolen)."""
-        current = read_lease(self._path(content_hash))
+        """Heartbeat one held lease; False when it was lost (stolen).
+
+        Storage faults propagate to the caller (the heartbeat thread
+        absorbs and retries them) — a fault is *not* evidence the
+        lease was lost.
+        """
+        current = self._read(content_hash)
         if current is None or current.get("owner") != self._owner:
             with self._lock:
                 self._held.pop(content_hash, None)
@@ -205,25 +279,37 @@ class LeaseManager:
         with self._lock:
             renewals = self._held.get(content_hash, 0) + 1
             self._held[content_hash] = renewals
-        self._replace(content_hash, renewals)
+        self._driver.replace(
+            self._key(content_hash), self._payload(content_hash, renewals)
+        )
         return True
 
     def renew_held(self) -> None:
-        """Heartbeat every lease this manager still holds."""
+        """Heartbeat every lease this manager still holds.
+
+        Every held lease is attempted even when some fail; the last
+        storage fault (if any) is re-raised so the heartbeat thread
+        can track continuous-failure duration.
+        """
+        last_error: Optional[StorageError] = None
         for content_hash in self.held:
-            self.renew(content_hash)
+            try:
+                self.renew(content_hash)
+            except StorageError as error:
+                last_error = error
+        if last_error is not None:
+            raise last_error
 
     def release(self, content_hash: str) -> None:
         """Drop a held lease (after checkpoint or failure record)."""
         with self._lock:
             self._held.pop(content_hash, None)
-        path = self._path(content_hash)
-        current = read_lease(path)
+        current = self._read(content_hash)
         if current is not None and current.get("owner") == self._owner:
             try:
-                path.unlink()
-            except OSError:
-                pass
+                self._driver.delete(self._key(content_hash))
+            except StorageError:
+                pass  # expires on its own; never block completion on it
 
     def release_all(self) -> None:
         for content_hash in self.held:
@@ -231,7 +317,7 @@ class LeaseManager:
 
     def holder(self, content_hash: str) -> Optional[Dict[str, object]]:
         """The live lease on a point, or ``None`` if vacant/expired."""
-        current = read_lease(self._path(content_hash))
+        current = self._read(content_hash)
         if current is None:
             return None
         if float(current.get("deadline", 0.0)) <= time.time():
@@ -244,19 +330,54 @@ class HeartbeatThread:
 
     Runs at ``ttl/3`` so a healthy worker never lets its own leases
     lapse, even while a long point computes; stops promptly when asked.
+
+    Transient storage faults do not kill the thread: the first failure
+    is logged once, and renewal is retried on every subsequent tick.
+    Only after a full lease TTL of *continuous* failure does the
+    thread give up — by then the leases have expired and are fair game
+    for other workers, so continuing would only spam the backend.
     """
 
     def __init__(self, leases: LeaseManager) -> None:
         self._leases = leases
         self._stop = threading.Event()
+        self._gave_up = False
         self._thread = threading.Thread(
             target=self._run, name="campaign-lease-heartbeat", daemon=True
         )
 
+    @property
+    def gave_up(self) -> bool:
+        """True when the thread exited after TTL-long storage failure."""
+        return self._gave_up
+
     def _run(self) -> None:
         interval = self._leases.ttl_s / 3.0
+        failing_since: Optional[float] = None
         while not self._stop.wait(interval):
-            self._leases.renew_held()
+            try:
+                self._leases.renew_held()
+            except StorageError as error:
+                now = time.monotonic()
+                if failing_since is None:
+                    failing_since = now
+                    log.warning(
+                        "lease heartbeat hit a storage fault (%s); "
+                        "will keep retrying every %.1fs tick",
+                        error,
+                        interval,
+                    )
+                if now - failing_since >= self._leases.ttl_s:
+                    log.error(
+                        "lease heartbeat failing continuously for a "
+                        "full ttl (%.1fs); giving up — held leases "
+                        "have expired and may be stolen",
+                        self._leases.ttl_s,
+                    )
+                    self._gave_up = True
+                    return
+            else:
+                failing_since = None
 
     def __enter__(self) -> "HeartbeatThread":
         self._thread.start()
@@ -273,6 +394,8 @@ __all__ = [
     "HeartbeatThread",
     "LeaseManager",
     "default_owner_id",
+    "parse_lease",
     "read_lease",
+    "scan_lease_backend",
     "scan_leases",
 ]

@@ -29,6 +29,13 @@ Fault tolerance (pinned by ``tests/test_campaign_faults.py``):
 * **Fault injection** — a :class:`~repro.campaign.faults.FaultPlan`
   (or ``REPRO_FAULT_PLAN``) deterministically injects crashes, hangs,
   kills, and torn writes so every path above runs in CI.
+* **Storage faults** — all store/lease I/O flows through a
+  :class:`~repro.campaign.storage.StorageDriver` with bounded retries
+  and seeded-jitter backoff; when writes fail *persistently* the
+  runner degrades to read-only serving under ``allow_partial`` —
+  remaining points compute (and are returned) without checkpointing,
+  and lease coordination is bypassed so the run still converges —
+  instead of wedging or losing the partial results.
 
 Every stored point carries the provenance the engines already stamp on
 their results — spectral ``backend``, ``noise_mode``/``noise_version``
@@ -41,6 +48,7 @@ from __future__ import annotations
 
 import contextlib
 import hashlib
+import logging
 import os
 import threading
 import time
@@ -65,6 +73,7 @@ from repro.core.config import NetScatterConfig
 from repro.errors import (
     CampaignExecutionError,
     ConfigurationError,
+    PersistentStorageError,
     PointTimeoutError,
 )
 from repro.protocol.network import (
@@ -72,6 +81,8 @@ from repro.protocol.network import (
     NetworkSimulator,
     resolve_pool_workers,
 )
+
+log = logging.getLogger("repro.campaign.runner")
 
 #: When set, every *completed* point execution appends one
 #: ``"<hash> <pid>"`` line here (O_APPEND, atomic for short lines).
@@ -281,6 +292,9 @@ class CampaignRun:
     spec: CampaignSpec
     results: List[CampaignPointResult]
     failures: List[CampaignPointFailure] = field(default_factory=list)
+    #: True when persistent storage-write failure forced the run into
+    #: read-only serving (late points computed but not checkpointed).
+    storage_degraded: bool = False
 
     @property
     def n_cached(self) -> int:
@@ -360,6 +374,7 @@ class CampaignRunner:
         self._wait_poll_s = float(wait_poll_s)
         self._wait_timeout_s = wait_timeout_s
         self._allow_partial = bool(allow_partial)
+        self._storage_degraded = False
 
     @property
     def store(self) -> Optional[CampaignStore]:
@@ -380,6 +395,7 @@ class CampaignRunner:
         — returned metrics are independent of pool scheduling, lease
         races, and retry history.
         """
+        self._storage_degraded = False
         points = list(spec.points())
         hashes = [point.content_hash() for point in points]
         outcome: Dict[int, CampaignPointResult] = {}
@@ -388,14 +404,14 @@ class CampaignRunner:
 
         pending: List[int] = []
         for index, point in enumerate(points):
-            if self._store is not None and self._store.has(point):
+            if self._store_has(point):
                 outcome[index] = self._cached_result(point)
             else:
                 pending.append(index)
 
         leases = (
             LeaseManager(
-                self._store.leases_dir,
+                self._store.lease_backend,
                 owner=self._owner,
                 ttl_s=self._lease_ttl_s,
             )
@@ -453,6 +469,7 @@ class CampaignRunner:
             spec=spec,
             results=results,
             failures=[failures[i] for i in sorted(failures)],
+            storage_degraded=self._storage_degraded,
         )
 
     def _cached_result(self, point: CampaignPoint) -> CampaignPointResult:
@@ -596,19 +613,18 @@ class CampaignRunner:
         leases: Optional[LeaseManager],
     ) -> None:
         attempts_done[index] = attempts_done.get(index, 0) + 1
-        if self._store is not None:
-            self._store.record_failure(
-                point,
-                [
-                    {
-                        "attempt": attempts_done[index],
-                        "error": error,
-                        "message": message[:500],
-                    }
-                ],
-                status="retrying",
-                owner=leases.owner if leases is not None else None,
-            )
+        self._record_failure_guarded(
+            point,
+            [
+                {
+                    "attempt": attempts_done[index],
+                    "error": error,
+                    "message": message[:500],
+                }
+            ],
+            status="retrying",
+            owner=leases.owner if leases is not None else None,
+        )
         if leases is not None:
             leases.release(content_hash)
 
@@ -637,13 +653,32 @@ class CampaignRunner:
             waiting: List[int] = []
             for index in pending:
                 point, content_hash = points[index], hashes[index]
-                if self._store is not None and self._store.has(point):
+                if self._store_has(point):
                     outcome[index] = self._cached_result(point)
                     progressed = True
                     continue
-                if leases is not None and not leases.acquire(content_hash):
+                # Degraded storage bypasses leases: claims go through
+                # the same failing driver, so waiting on them would
+                # never terminate — recomputation is safe (idempotent
+                # points) and the only cost of losing coordination.
+                if (
+                    leases is not None
+                    and not self._storage_degraded
+                    and not leases.acquire(content_hash)
+                ):
                     waiting.append(index)
                     continue
+                if leases is not None and not self._storage_degraded:
+                    # The claim can race a finishing runner: between
+                    # the pending check above and the successful claim
+                    # (which may stall on a slow backend), the holder
+                    # can save and release. Re-check under the lease
+                    # so the point is never computed twice.
+                    if self._store_has(point):
+                        leases.release(content_hash)
+                        outcome[index] = self._cached_result(point)
+                        progressed = True
+                        continue
                 start_attempt = attempts_done.get(index, 0) + 1
                 try:
                     (
@@ -733,13 +768,12 @@ class CampaignRunner:
                 # The budget counts *total* attempts on this point in
                 # this run, pool attempts included.
                 exhausted = attempt >= self._retry.max_attempts
-                if self._store is not None:
-                    self._store.record_failure(
-                        point,
-                        attempts_record,
-                        status="failed" if exhausted else "retrying",
-                        owner=owner,
-                    )
+                self._record_failure_guarded(
+                    point,
+                    attempts_record,
+                    status="failed" if exhausted else "retrying",
+                    owner=owner,
+                )
                 if exhausted:
                     raise _PointFailed(attempts_record) from error
                 backoff = self._retry.backoff_s(content_hash, attempt)
@@ -754,6 +788,55 @@ class CampaignRunner:
             # write-stage fault-injection attempt.
             return metrics_dict, provenance, elapsed, attempt
 
+    # ------------------------------------------------------------------ #
+    # storage degradation
+    # ------------------------------------------------------------------ #
+
+    def _degrade(self, error: Exception) -> None:
+        """Handle persistent storage-write failure.
+
+        Under ``allow_partial`` the run switches to read-only serving:
+        later points still compute and are returned, but nothing more
+        is persisted and leases are bypassed (their claims go through
+        the same failing driver). Without ``allow_partial`` the fault
+        is surfaced — computed points are already checkpointed, so the
+        re-run resumes where this one stopped.
+        """
+        if not self._allow_partial:
+            raise PersistentStorageError(
+                f"campaign store writes are failing persistently "
+                f"({error}); completed points are checkpointed — re-run "
+                f"to resume, or pass allow_partial=True to keep "
+                f"computing without persistence"
+            ) from error
+        if not self._storage_degraded:
+            log.warning(
+                "storage writes failing persistently (%s); degrading "
+                "to read-only serving — remaining points compute "
+                "without checkpointing, lease coordination bypassed",
+                error,
+            )
+        self._storage_degraded = True
+
+    def _store_has(self, point: CampaignPoint) -> bool:
+        if self._store is None:
+            return False
+        try:
+            return self._store.has(point)
+        except PersistentStorageError as error:
+            self._degrade(error)
+            return False
+
+    def _record_failure_guarded(self, point, attempts, status, owner):
+        if self._store is None or self._storage_degraded:
+            return
+        try:
+            self._store.record_failure(
+                point, attempts, status=status, owner=owner
+            )
+        except PersistentStorageError as error:
+            self._degrade(error)
+
     def _checkpoint(
         self,
         point: CampaignPoint,
@@ -762,7 +845,9 @@ class CampaignRunner:
         elapsed_s: float,
         attempt: int = 1,
     ) -> None:
-        if self._store is not None:
+        if self._store is None or self._storage_degraded:
+            return
+        try:
             self._store.save(
                 point,
                 metrics_dict,
@@ -770,6 +855,8 @@ class CampaignRunner:
                 elapsed_s=elapsed_s,
                 attempt=attempt,
             )
+        except PersistentStorageError as error:
+            self._degrade(error)
 
 
 def run_campaign_sweep(

@@ -1,0 +1,929 @@
+"""Pluggable fault-tolerant storage drivers for the campaign store.
+
+Every byte of campaign state — point chunks, npz payloads, the
+manifest, lease files, failure records, quarantine stamps — flows
+through a :class:`StorageDriver`. The driver layer is where I/O faults
+are absorbed: bounded retries with seeded-jitter backoff and optional
+per-operation timeouts live in :class:`RetryingDriver`, crash-consistent
+durability lives in :class:`PosixDriver` (fsync-on-commit), and the
+whole contract is exercised in CI by :class:`FaultyDriver`, which
+injects I/O errors, torn writes, and latency from a seeded declarative
+:class:`~repro.campaign.faults.StorageFaultPlan`. A remote/object-store
+driver only has to honour the same contract to inherit the campaign
+layer's entire fault story (HSDS's ``storUtil`` posix/S3/Azure split is
+the model).
+
+The driver contract
+===================
+
+Keys are relative POSIX-style paths (``"points/<hash>.json"``). All
+operations are synchronous. The guarantees below are what the store and
+the lease protocol are built on — any new driver MUST provide them:
+
+``get(key) -> bytes``
+    Returns the *complete* value most recently committed at ``key``;
+    raises :class:`~repro.errors.StorageMissingError` when absent. A
+    reader never observes a torn value from a committed
+    ``put_atomic``/``replace``.
+``put_atomic(key, data)``
+    All-or-nothing publication: after it returns, every subsequent
+    ``get`` observes exactly ``data`` (visible-after-return); if the
+    caller crashes mid-operation, readers observe the previous value
+    (or absence), never a prefix. On durable backends the committed
+    value also survives a host crash (fsync-on-commit).
+``put_exclusive(key, data) -> bool``
+    Atomic create-if-absent — the lease *claim* primitive. Exactly one
+    of N concurrent callers on a vacant key returns ``True``.
+``replace(key, data)``
+    Atomic unconditional overwrite — the lease *steal/heartbeat*
+    primitive. Visible-after-return with read-your-writes: a ``get``
+    issued by any process after ``replace`` returns sees the new value
+    (or a strictly later one), which is what makes
+    replace-then-read-back resolve simultaneous stealers to one winner.
+``delete(key) -> bool`` / ``exists(key)`` / ``stat(key)`` /
+``list(prefix)`` / ``rename(key, new_key)``
+    Bookkeeping; ``delete`` is idempotent, ``list`` never shows
+    uncommitted temporaries, ``rename`` atomically moves a committed
+    value (the quarantine primitive).
+
+Errors are typed: :class:`~repro.errors.TransientStorageError` may
+succeed on retry; :class:`~repro.errors.PersistentStorageError` will
+not (the campaign runner degrades to read-only serving when a write
+reaches it); :class:`~repro.errors.StorageMissingError` is an answer,
+not a fault, and is never retried.
+
+Doctest — the contract in miniature, on the in-process driver:
+
+>>> from repro.campaign.storage import MemoryDriver
+>>> driver = MemoryDriver()
+>>> driver.put_atomic("points/a.json", b'{"x": 1}')
+>>> driver.get("points/a.json")
+b'{"x": 1}'
+>>> driver.put_exclusive("leases/a.lease", b"owner-1")  # claim wins
+True
+>>> driver.put_exclusive("leases/a.lease", b"owner-2")  # claim loses
+False
+>>> driver.replace("leases/a.lease", b"owner-2")        # steal
+>>> driver.get("leases/a.lease")                        # read-back
+b'owner-2'
+>>> driver.list("points/")
+['points/a.json']
+>>> driver.delete("leases/a.lease")
+True
+>>> driver.exists("leases/a.lease")
+False
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import os
+import threading
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+from typing import Dict, List, Optional
+
+from repro.campaign.faults import (
+    STORAGE_WRITE_OPS,
+    StorageFaultPlan,
+    StorageFaultRule,
+)
+from repro.errors import (
+    ConfigurationError,
+    PersistentStorageError,
+    StorageMissingError,
+    TransientStorageError,
+)
+
+log = logging.getLogger("repro.campaign.storage")
+
+
+@dataclass(frozen=True)
+class StorageStat:
+    """Size and modification time of one committed value."""
+
+    size: int
+    mtime: float
+
+
+def _check_key(key: str) -> str:
+    """Validate a driver key: relative, normalised, no traversal."""
+    if not key or key.startswith("/") or "\\" in key:
+        raise ConfigurationError(
+            f"storage keys are relative POSIX paths, got {key!r}"
+        )
+    path = PurePosixPath(key)
+    if ".." in path.parts or str(path) != key:
+        # str(path) != key catches the forms PurePosixPath would
+        # silently normalise ("./x", "a//b", trailing "/"): a key must
+        # name its object the same way list() will report it.
+        raise ConfigurationError(
+            f"storage keys must be normalised relative POSIX paths "
+            f"without traversal, got {key!r}"
+        )
+    return key
+
+
+class StorageDriver(ABC):
+    """Abstract storage backend; see the module docstring contract.
+
+    Concrete drivers record lightweight operation statistics
+    (:meth:`stats`) so ``python -m repro.campaign status`` can report
+    per-driver I/O counts without instrumentation.
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self._stats_lock = threading.Lock()
+        self._op_counts: Dict[str, int] = {}
+        self._bytes_read = 0
+        self._bytes_written = 0
+        self._n_errors = 0
+
+    # ------------------------------------------------------------------ #
+    # contract
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def get(self, key: str) -> bytes:
+        """Complete committed value at ``key``; StorageMissingError if absent."""
+
+    @abstractmethod
+    def put_atomic(self, key: str, data: bytes) -> None:
+        """All-or-nothing durable publication of ``data`` at ``key``."""
+
+    @abstractmethod
+    def put_exclusive(self, key: str, data: bytes) -> bool:
+        """Atomic create-if-absent; True iff this call created the key."""
+
+    @abstractmethod
+    def replace(self, key: str, data: bytes) -> None:
+        """Atomic unconditional overwrite, visible-after-return."""
+
+    @abstractmethod
+    def delete(self, key: str) -> bool:
+        """Remove ``key`` if present (idempotent); True iff removed."""
+
+    @abstractmethod
+    def list(self, prefix: str = "") -> List[str]:
+        """Sorted committed keys starting with ``prefix``."""
+
+    @abstractmethod
+    def exists(self, key: str) -> bool:
+        """True when ``key`` holds a committed value."""
+
+    @abstractmethod
+    def stat(self, key: str) -> StorageStat:
+        """Size/mtime of ``key``; StorageMissingError if absent."""
+
+    @abstractmethod
+    def rename(self, key: str, new_key: str) -> None:
+        """Atomically move ``key`` to ``new_key`` (replacing it)."""
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+
+    def _record(
+        self, op: str, read: int = 0, wrote: int = 0, error: bool = False
+    ) -> None:
+        with self._stats_lock:
+            self._op_counts[op] = self._op_counts.get(op, 0) + 1
+            self._bytes_read += read
+            self._bytes_written += wrote
+            if error:
+                self._n_errors += 1
+
+    def stats(self) -> Dict[str, object]:
+        """Operation counts and byte totals since construction."""
+        with self._stats_lock:
+            return {
+                "driver": self.name,
+                "ops": dict(sorted(self._op_counts.items())),
+                "bytes_read": self._bytes_read,
+                "bytes_written": self._bytes_written,
+                "n_errors": self._n_errors,
+            }
+
+
+class PosixDriver(StorageDriver):
+    """Local-filesystem driver: today's store layout, made durable.
+
+    Writes commit via a temporary file in ``<root>/.tmp/`` followed by
+    ``os.replace`` — readers and :meth:`list` never observe
+    temporaries. With ``fsync=True`` (the default) every commit fsyncs
+    the file contents *and* the destination directory entry, so a host
+    crash immediately after :meth:`put_atomic` returns can no longer
+    leave a zero-length or missing chunk behind a manifest that saw it
+    (the pre-driver ``_write_atomic`` skipped both fsyncs).
+    """
+
+    name = "posix"
+
+    def __init__(self, root, fsync: bool = True) -> None:
+        super().__init__()
+        self._root = Path(root)
+        self._tmp_dir = self._root / ".tmp"
+        self._fsync = bool(fsync)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def _path(self, key: str) -> Path:
+        return self._root / PurePosixPath(_check_key(key))
+
+    def _fsync_dir(self, directory: Path) -> None:
+        if not self._fsync:
+            return
+        fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def _write_tmp(self, key: str, data: bytes) -> Path:
+        """Write ``data`` to a unique tmp file, fsynced when configured."""
+        self._tmp_dir.mkdir(parents=True, exist_ok=True)
+        tmp = self._tmp_dir / (
+            f"{PurePosixPath(key).name}.{os.getpid()}."
+            f"{threading.get_ident()}.tmp"
+        )
+        fd = os.open(tmp, os.O_CREAT | os.O_TRUNC | os.O_WRONLY, 0o644)
+        try:
+            os.write(fd, data)
+            if self._fsync:
+                os.fsync(fd)
+        finally:
+            os.close(fd)
+        return tmp
+
+    def _commit(self, key: str, data: bytes) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self._write_tmp(key, data)
+        os.replace(tmp, path)
+        self._fsync_dir(path.parent)
+
+    def get(self, key: str) -> bytes:
+        try:
+            data = self._path(key).read_bytes()
+        except FileNotFoundError:
+            self._record("get", error=True)
+            raise StorageMissingError(f"no value at {key!r}") from None
+        except OSError as error:
+            self._record("get", error=True)
+            raise TransientStorageError(f"get({key!r}): {error}") from error
+        self._record("get", read=len(data))
+        return data
+
+    def put_atomic(self, key: str, data: bytes) -> None:
+        try:
+            self._commit(key, data)
+        except OSError as error:
+            self._record("put_atomic", error=True)
+            raise TransientStorageError(
+                f"put_atomic({key!r}): {error}"
+            ) from error
+        self._record("put_atomic", wrote=len(data))
+
+    def put_exclusive(self, key: str, data: bytes) -> bool:
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(
+                path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+            )
+        except FileExistsError:
+            self._record("put_exclusive")
+            return False
+        except OSError as error:
+            self._record("put_exclusive", error=True)
+            raise TransientStorageError(
+                f"put_exclusive({key!r}): {error}"
+            ) from error
+        try:
+            try:
+                os.write(fd, data)
+                if self._fsync:
+                    os.fsync(fd)
+            finally:
+                os.close(fd)
+            self._fsync_dir(path.parent)
+        except OSError as error:
+            self._record("put_exclusive", error=True)
+            raise TransientStorageError(
+                f"put_exclusive({key!r}): {error}"
+            ) from error
+        self._record("put_exclusive", wrote=len(data))
+        return True
+
+    def replace(self, key: str, data: bytes) -> None:
+        try:
+            self._commit(key, data)
+        except OSError as error:
+            self._record("replace", error=True)
+            raise TransientStorageError(
+                f"replace({key!r}): {error}"
+            ) from error
+        self._record("replace", wrote=len(data))
+
+    def delete(self, key: str) -> bool:
+        self._record("delete")
+        try:
+            self._path(key).unlink()
+        except FileNotFoundError:
+            return False
+        except OSError as error:
+            raise TransientStorageError(
+                f"delete({key!r}): {error}"
+            ) from error
+        return True
+
+    def list(self, prefix: str = "") -> List[str]:
+        self._record("list")
+        keys = []
+        try:
+            for dirpath, dirnames, filenames in os.walk(self._root):
+                rel = Path(dirpath).relative_to(self._root)
+                if rel.parts[:1] == (".tmp",):
+                    dirnames[:] = []
+                    continue
+                for name in filenames:
+                    key = str(PurePosixPath(*(rel.parts + (name,))))
+                    if key.startswith(prefix):
+                        keys.append(key)
+        except OSError as error:
+            raise TransientStorageError(
+                f"list({prefix!r}): {error}"
+            ) from error
+        return sorted(keys)
+
+    def exists(self, key: str) -> bool:
+        self._record("exists")
+        return self._path(key).is_file()
+
+    def stat(self, key: str) -> StorageStat:
+        self._record("stat")
+        try:
+            info = os.stat(self._path(key))
+        except FileNotFoundError:
+            raise StorageMissingError(f"no value at {key!r}") from None
+        except OSError as error:
+            raise TransientStorageError(
+                f"stat({key!r}): {error}"
+            ) from error
+        return StorageStat(size=info.st_size, mtime=info.st_mtime)
+
+    def rename(self, key: str, new_key: str) -> None:
+        self._record("rename")
+        src, dst = self._path(key), self._path(new_key)
+        try:
+            dst.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(src, dst)
+            self._fsync_dir(dst.parent)
+        except FileNotFoundError:
+            raise StorageMissingError(f"no value at {key!r}") from None
+        except OSError as error:
+            raise TransientStorageError(
+                f"rename({key!r} -> {new_key!r}): {error}"
+            ) from error
+
+
+class MemoryDriver(StorageDriver):
+    """In-process driver: a dict under one lock.
+
+    Hermetic and fast — the campaign test suite runs unchanged on it —
+    and the template for remote drivers: every contract guarantee is
+    trivially explicit here (exclusivity and replace-then-read-back are
+    one lock acquisition), so a new backend can be diffed against it
+    operation by operation.
+    """
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lock = threading.Lock()
+        self._data: Dict[str, bytes] = {}
+        self._mtimes: Dict[str, float] = {}
+
+    def get(self, key: str) -> bytes:
+        _check_key(key)
+        with self._lock:
+            if key not in self._data:
+                self._record("get", error=True)
+                raise StorageMissingError(f"no value at {key!r}")
+            data = self._data[key]
+        self._record("get", read=len(data))
+        return data
+
+    def put_atomic(self, key: str, data: bytes) -> None:
+        _check_key(key)
+        with self._lock:
+            self._data[key] = bytes(data)
+            self._mtimes[key] = time.time()
+        self._record("put_atomic", wrote=len(data))
+
+    def put_exclusive(self, key: str, data: bytes) -> bool:
+        _check_key(key)
+        with self._lock:
+            if key in self._data:
+                created = False
+            else:
+                self._data[key] = bytes(data)
+                self._mtimes[key] = time.time()
+                created = True
+        self._record("put_exclusive", wrote=len(data) if created else 0)
+        return created
+
+    def replace(self, key: str, data: bytes) -> None:
+        self.put_atomic(key, data)
+
+    def delete(self, key: str) -> bool:
+        _check_key(key)
+        self._record("delete")
+        with self._lock:
+            self._mtimes.pop(key, None)
+            return self._data.pop(key, None) is not None
+
+    def list(self, prefix: str = "") -> List[str]:
+        self._record("list")
+        with self._lock:
+            return sorted(k for k in self._data if k.startswith(prefix))
+
+    def exists(self, key: str) -> bool:
+        _check_key(key)
+        self._record("exists")
+        with self._lock:
+            return key in self._data
+
+    def stat(self, key: str) -> StorageStat:
+        _check_key(key)
+        self._record("stat")
+        with self._lock:
+            if key not in self._data:
+                raise StorageMissingError(f"no value at {key!r}")
+            return StorageStat(
+                size=len(self._data[key]), mtime=self._mtimes[key]
+            )
+
+    def rename(self, key: str, new_key: str) -> None:
+        _check_key(key)
+        _check_key(new_key)
+        self._record("rename")
+        with self._lock:
+            if key not in self._data:
+                raise StorageMissingError(f"no value at {key!r}")
+            self._data[new_key] = self._data.pop(key)
+            self._mtimes[new_key] = self._mtimes.pop(key)
+
+
+class PrefixDriver(StorageDriver):
+    """Namespace view of another driver under a fixed key prefix.
+
+    Used to hand subsystems (the lease protocol) a scoped slice of the
+    store's driver without threading path strings around.
+    """
+
+    def __init__(self, inner: StorageDriver, prefix: str) -> None:
+        super().__init__()
+        if prefix and not prefix.endswith("/"):
+            prefix += "/"
+        self._inner = inner
+        self._prefix = prefix
+        self.name = f"{inner.name}:{prefix or '/'}"
+
+    def _k(self, key: str) -> str:
+        return self._prefix + _check_key(key)
+
+    def get(self, key: str) -> bytes:
+        return self._inner.get(self._k(key))
+
+    def put_atomic(self, key: str, data: bytes) -> None:
+        self._inner.put_atomic(self._k(key), data)
+
+    def put_exclusive(self, key: str, data: bytes) -> bool:
+        return self._inner.put_exclusive(self._k(key), data)
+
+    def replace(self, key: str, data: bytes) -> None:
+        self._inner.replace(self._k(key), data)
+
+    def delete(self, key: str) -> bool:
+        return self._inner.delete(self._k(key))
+
+    def list(self, prefix: str = "") -> List[str]:
+        n = len(self._prefix)
+        return [k[n:] for k in self._inner.list(self._prefix + prefix)]
+
+    def exists(self, key: str) -> bool:
+        return self._inner.exists(self._k(key))
+
+    def stat(self, key: str) -> StorageStat:
+        return self._inner.stat(self._k(key))
+
+    def rename(self, key: str, new_key: str) -> None:
+        self._inner.rename(self._k(key), self._k(new_key))
+
+    def stats(self) -> Dict[str, object]:
+        return self._inner.stats()
+
+
+class FaultyDriver(StorageDriver):
+    """Wrapper injecting storage faults from a seeded declarative plan.
+
+    The storage-layer extension of the ``faults.py`` harness: rules
+    select driver calls by operation and key prefix, then fire on
+    explicit call indices or with seeded per-call probability
+    (:class:`~repro.campaign.faults.StorageFaultPlan`). Kinds:
+
+    * ``error`` / ``persistent`` — raise Transient-/
+      PersistentStorageError *before* the operation touches the
+      backend (the old state is intact);
+    * ``hang`` — sleep ``hang_s``, then perform the operation (a slow
+      disk / network stall; trips per-operation timeouts);
+    * ``torn`` — write operations only: land ``data[:offset]``
+      (default: half) through the raw backend, then raise
+      TransientStorageError — or return successfully when ``silent``,
+      simulating an *undetected* torn write on a non-atomic backend
+      that the store's integrity verification must catch later.
+
+    Call counting is per rule within this driver instance, so
+    injection is reproducible for a given operation sequence without
+    shared mutable state.
+    """
+
+    def __init__(
+        self,
+        inner: StorageDriver,
+        plan: Optional[StorageFaultPlan] = None,
+    ) -> None:
+        super().__init__()
+        if plan is None:
+            plan = StorageFaultPlan.from_env() or StorageFaultPlan()
+        self._inner = inner
+        self._plan = plan
+        self._lock = threading.Lock()
+        self._seen: Dict[int, int] = {}
+        self._fired: Dict[int, int] = {}
+        self._n_injected = 0
+        self.name = f"faulty({inner.name})"
+
+    @property
+    def inner(self) -> StorageDriver:
+        return self._inner
+
+    @property
+    def n_injected(self) -> int:
+        with self._lock:
+            return self._n_injected
+
+    def _consult(self, op: str, key: str) -> Optional[StorageFaultRule]:
+        """First rule firing on this call, advancing per-rule counters."""
+        with self._lock:
+            chosen = None
+            for index, rule in enumerate(self._plan.rules):
+                if not rule.selects(op, key):
+                    continue
+                self._seen[index] = n = self._seen.get(index, 0) + 1
+                if chosen is not None:
+                    continue  # still count later rules' matches
+                if (
+                    rule.max_fires is not None
+                    and self._fired.get(index, 0) >= rule.max_fires
+                ):
+                    continue
+                if rule.calls is not None:
+                    fires = n in rule.calls
+                else:
+                    fires = self._plan.unit(op, key, n) < float(rule.p)
+                if fires:
+                    self._fired[index] = self._fired.get(index, 0) + 1
+                    self._n_injected += 1
+                    chosen = rule
+            return chosen
+
+    def _apply(self, op: str, key: str, fn, data: Optional[bytes] = None):
+        rule = self._consult(op, key)
+        if rule is None:
+            return fn()
+        if rule.kind == "hang":
+            time.sleep(rule.hang_s)
+            return fn()
+        if rule.kind == "persistent":
+            raise PersistentStorageError(
+                f"injected persistent storage fault at {op}({key!r})"
+            )
+        if rule.kind == "torn" and op in STORAGE_WRITE_OPS:
+            assert data is not None
+            offset = (
+                max(0, len(data) // 2)
+                if rule.offset is None
+                else min(int(rule.offset), len(data))
+            )
+            # The partial payload lands through the *raw* backend: this
+            # models a non-atomic write (or a crash mid-copy) that the
+            # atomicity contract forbids — exactly what the store's
+            # integrity verification exists to catch.
+            self._inner.replace(key, data[:offset])
+            if rule.silent:
+                return None
+            raise TransientStorageError(
+                f"injected torn write at {op}({key!r}) "
+                f"(kept {offset} of {len(data)} bytes)"
+            )
+        raise TransientStorageError(
+            f"injected transient storage fault at {op}({key!r})"
+        )
+
+    def get(self, key: str) -> bytes:
+        return self._apply("get", key, lambda: self._inner.get(key))
+
+    def put_atomic(self, key: str, data: bytes) -> None:
+        return self._apply(
+            "put_atomic",
+            key,
+            lambda: self._inner.put_atomic(key, data),
+            data=data,
+        )
+
+    def put_exclusive(self, key: str, data: bytes) -> bool:
+        return self._apply(
+            "put_exclusive",
+            key,
+            lambda: self._inner.put_exclusive(key, data),
+            data=data,
+        )
+
+    def replace(self, key: str, data: bytes) -> None:
+        return self._apply(
+            "replace",
+            key,
+            lambda: self._inner.replace(key, data),
+            data=data,
+        )
+
+    def delete(self, key: str) -> bool:
+        return self._apply("delete", key, lambda: self._inner.delete(key))
+
+    def list(self, prefix: str = "") -> List[str]:
+        return self._apply(
+            "list", prefix, lambda: self._inner.list(prefix)
+        )
+
+    def exists(self, key: str) -> bool:
+        return self._apply("exists", key, lambda: self._inner.exists(key))
+
+    def stat(self, key: str) -> StorageStat:
+        return self._apply("stat", key, lambda: self._inner.stat(key))
+
+    def rename(self, key: str, new_key: str) -> None:
+        return self._apply(
+            "rename", key, lambda: self._inner.rename(key, new_key)
+        )
+
+    def stats(self) -> Dict[str, object]:
+        merged = dict(self._inner.stats())
+        merged["driver"] = self.name
+        merged["n_injected_faults"] = self.n_injected
+        return merged
+
+
+@dataclass(frozen=True)
+class StorageRetryPolicy:
+    """Bounded retries for transient driver errors.
+
+    The storage-layer sibling of the runner's ``RetryPolicy``: the
+    backoff for a given ``(op, key, attempt)`` is a pure function of
+    the policy seed (seeded-jitter exponential), so retry schedules are
+    reproducible across runs and hosts. ``op_timeout_s`` additionally
+    bounds each underlying operation's wall clock — a hung backend
+    surfaces as a transient error and is retried instead of wedging
+    the campaign.
+
+    >>> policy = StorageRetryPolicy(max_attempts=4, base_delay_s=0.01)
+    >>> policy.backoff_s("get", "points/a.json", 1) == policy.backoff_s(
+    ...     "get", "points/a.json", 1)
+    True
+    >>> policy.backoff_s("get", "points/a.json", 3) >= policy.backoff_s(
+    ...     "get", "points/a.json", 1)
+    True
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.02
+    max_delay_s: float = 1.0
+    jitter: float = 0.25
+    seed: int = 0
+    op_timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ConfigurationError(
+                "need 0 <= base_delay_s <= max_delay_s"
+            )
+        if not 0 <= self.jitter <= 1:
+            raise ConfigurationError("jitter must be within [0, 1]")
+        if self.op_timeout_s is not None and self.op_timeout_s <= 0:
+            raise ConfigurationError("op_timeout_s must be positive")
+
+    def backoff_s(self, op: str, key: str, attempt: int) -> float:
+        digest = hashlib.sha256(
+            f"{self.seed}:{op}:{key}:{attempt}".encode()
+        ).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2.0**64
+        delay = self.base_delay_s * 2.0 ** (attempt - 1)
+        return min(self.max_delay_s, delay) * (1.0 + self.jitter * unit)
+
+
+def _bounded_call(fn, timeout_s: Optional[float]):
+    """Run ``fn()`` under a wall-clock bound (None = unbounded).
+
+    On timeout the worker thread is abandoned and the operation is
+    reported transient (the caller retries); like the runner's
+    per-point timeout, an eventually-completing abandoned call is
+    harmless because all driver writes are atomic and idempotent.
+    """
+    if not timeout_s:
+        return fn()
+    box: Dict[str, object] = {}
+
+    def target() -> None:
+        try:
+            box["result"] = fn()
+        except BaseException as error:
+            box["error"] = error
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise TransientStorageError(
+            f"storage operation exceeded {timeout_s:g}s"
+        )
+    if "error" in box:
+        raise box["error"]
+    return box.get("result")
+
+
+class RetryingDriver(StorageDriver):
+    """Per-operation bounded retries + timeouts over any driver.
+
+    Transient errors retry up to ``policy.max_attempts`` with
+    seeded-jitter exponential backoff; exhaustion escalates to
+    :class:`~repro.errors.PersistentStorageError` (which the campaign
+    runner treats as "degrade to read-only"). Missing keys and
+    already-persistent errors pass straight through.
+    """
+
+    def __init__(
+        self,
+        inner: StorageDriver,
+        policy: Optional[StorageRetryPolicy] = None,
+    ) -> None:
+        super().__init__()
+        self._inner = inner
+        self._policy = policy or StorageRetryPolicy()
+        self._retry_lock = threading.Lock()
+        self._n_retries = 0
+        self.name = f"retrying({inner.name})"
+
+    @property
+    def inner(self) -> StorageDriver:
+        return self._inner
+
+    @property
+    def policy(self) -> StorageRetryPolicy:
+        return self._policy
+
+    @property
+    def n_retries(self) -> int:
+        with self._retry_lock:
+            return self._n_retries
+
+    def _run(self, op: str, key: str, fn):
+        attempt = 1
+        while True:
+            try:
+                return _bounded_call(fn, self._policy.op_timeout_s)
+            except (StorageMissingError, PersistentStorageError):
+                raise
+            except TransientStorageError as error:
+                if attempt >= self._policy.max_attempts:
+                    raise PersistentStorageError(
+                        f"{op}({key!r}) still failing after "
+                        f"{attempt} attempts: {error}"
+                    ) from error
+                backoff = self._policy.backoff_s(op, key, attempt)
+                log.debug(
+                    "transient storage fault on %s(%r) attempt %d "
+                    "(%s); retrying in %.3fs",
+                    op,
+                    key,
+                    attempt,
+                    error,
+                    backoff,
+                )
+                with self._retry_lock:
+                    self._n_retries += 1
+                time.sleep(backoff)
+                attempt += 1
+
+    def get(self, key: str) -> bytes:
+        return self._run("get", key, lambda: self._inner.get(key))
+
+    def put_atomic(self, key: str, data: bytes) -> None:
+        return self._run(
+            "put_atomic", key, lambda: self._inner.put_atomic(key, data)
+        )
+
+    def put_exclusive(self, key: str, data: bytes) -> bool:
+        return self._run(
+            "put_exclusive",
+            key,
+            lambda: self._inner.put_exclusive(key, data),
+        )
+
+    def replace(self, key: str, data: bytes) -> None:
+        return self._run(
+            "replace", key, lambda: self._inner.replace(key, data)
+        )
+
+    def delete(self, key: str) -> bool:
+        return self._run("delete", key, lambda: self._inner.delete(key))
+
+    def list(self, prefix: str = "") -> List[str]:
+        return self._run(
+            "list", prefix, lambda: self._inner.list(prefix)
+        )
+
+    def exists(self, key: str) -> bool:
+        return self._run(
+            "exists", key, lambda: self._inner.exists(key)
+        )
+
+    def stat(self, key: str) -> StorageStat:
+        return self._run("stat", key, lambda: self._inner.stat(key))
+
+    def rename(self, key: str, new_key: str) -> None:
+        return self._run(
+            "rename", key, lambda: self._inner.rename(key, new_key)
+        )
+
+    def stats(self) -> Dict[str, object]:
+        merged = dict(self._inner.stats())
+        merged["driver"] = self.name
+        merged["n_retries"] = self.n_retries
+        return merged
+
+
+#: CLI driver-name registry (``--storage-driver``).
+DRIVER_NAMES = ("posix", "memory", "faulty")
+
+
+def build_driver(
+    name: str,
+    root,
+    storage_fault_plan: Optional[StorageFaultPlan] = None,
+    fsync: bool = True,
+) -> StorageDriver:
+    """Construct a named driver for ``--storage-driver``.
+
+    ``"faulty"`` wraps posix with the given (or ambient
+    ``REPRO_STORAGE_FAULT_PLAN``) fault plan; passing a plan with any
+    other name also wraps, so ``--storage-fault-plan`` alone implies
+    injection.
+    """
+    if name not in DRIVER_NAMES:
+        raise ConfigurationError(
+            f"unknown storage driver {name!r}; pick one of {DRIVER_NAMES}"
+        )
+    base: StorageDriver
+    if name == "memory":
+        base = MemoryDriver()
+    else:
+        base = PosixDriver(root, fsync=fsync)
+    if name == "faulty" or storage_fault_plan is not None:
+        base = FaultyDriver(base, storage_fault_plan)
+    return base
+
+
+__all__ = [
+    "DRIVER_NAMES",
+    "FaultyDriver",
+    "MemoryDriver",
+    "PosixDriver",
+    "PrefixDriver",
+    "RetryingDriver",
+    "StorageDriver",
+    "StorageRetryPolicy",
+    "StorageStat",
+    "build_driver",
+]

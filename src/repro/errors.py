@@ -58,6 +58,28 @@ class LeaseError(CampaignError):
     """A lease operation hit an inconsistent on-disk state."""
 
 
+class StorageError(CampaignError):
+    """Base class for storage-driver failures (posix, memory, remote)."""
+
+
+class StorageMissingError(StorageError):
+    """The requested key does not exist in the storage backend.
+
+    Never retried: absence is a definitive answer, not a fault."""
+
+
+class TransientStorageError(StorageError):
+    """A storage operation failed in a way that may succeed on retry
+    (I/O hiccup, timeout, torn write detected mid-operation). The
+    retrying driver wrapper absorbs these with bounded backoff."""
+
+
+class PersistentStorageError(StorageError):
+    """A storage operation failed permanently (retry budget exhausted,
+    or the backend reported a non-recoverable condition). The campaign
+    runner degrades to read-only serving when writes reach this."""
+
+
 class PointTimeoutError(CampaignError):
     """A campaign point exceeded its per-point execution timeout."""
 

@@ -34,6 +34,7 @@ DOCUMENTED_MODULES = [
     "repro.campaign.store",
     "repro.campaign.faults",
     "repro.campaign.runner",
+    "repro.campaign.storage",
 ]
 
 #: Load-bearing anchors per documentation file: strings that must keep
@@ -67,6 +68,12 @@ DOC_ANCHORS = {
         "RetryPolicy",
         "quarantine",
         "leases/<hash>.lease",
+        "StorageDriver",
+        "put_atomic",
+        "put_exclusive",
+        "REPRO_STORAGE_FAULT_PLAN",
+        "PersistentStorageError",
+        "read-only serving",
     ],
     "README.md": [
         "docs/PERFORMANCE.md",
@@ -77,6 +84,8 @@ DOC_ANCHORS = {
         ".github/workflows/ci.yml",
         "REPRO_FAULT_PLAN",
         "timeout-minutes",
+        "--storage-driver",
+        "REPRO_STORAGE_FAULT_PLAN",
     ],
 }
 
@@ -96,6 +105,9 @@ class TestCiPipeline:
             "validate_report",
             "REPRO_FAULT_PLAN",
             "fault-injection",
+            "storage-fault",
+            "--storage-fault-plan",
+            "status --json",
         ):
             assert anchor in text, f"ci.yml lost {anchor!r}"
 

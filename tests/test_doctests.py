@@ -13,6 +13,7 @@ import pytest
 import repro.campaign.faults
 import repro.campaign.runner
 import repro.campaign.spec
+import repro.campaign.storage
 import repro.campaign.store
 import repro.phy.backend_plan
 import repro.phy.noise
@@ -28,6 +29,7 @@ MODULES_WITH_DOCTESTS = [
     repro.phy.noise,
     repro.campaign.spec,
     repro.campaign.store,
+    repro.campaign.storage,
     repro.campaign.faults,
     repro.campaign.runner,
 ]

@@ -1,0 +1,994 @@
+"""Pluggable fault-tolerant storage drivers under the campaign store.
+
+The load-bearing pins:
+
+* **driver contract** — posix and memory drivers provide identical
+  get/put-atomic/put-exclusive/replace/delete/list/exists/stat/rename
+  semantics (atomic publication, exclusive create, visible-after-
+  return), so the store and the lease protocol are backend-agnostic;
+* **durability** — ``PosixDriver.put_atomic`` fsyncs both the file and
+  the directory entry on commit, and temporaries never appear in
+  listings or reads;
+* **fault absorption** — transient driver errors (including torn
+  writes that raise) heal inside ``RetryingDriver`` with bounded
+  seeded-jitter backoff and zero recomputation; retry exhaustion
+  escalates to ``PersistentStorageError`` and the runner degrades to
+  read-only serving under ``allow_partial``;
+* **torn-write sweep** — a silent torn chunk at every interesting
+  offset is quarantined by integrity verification and the campaign
+  converges byte-identical to a clean run;
+* **acceptance** — two concurrent runners over ``FaultyDriver``
+  (seeded transient errors, torn writes, one injected hang) converge
+  to a manifest byte-identical to a single-shot clean ``PosixDriver``
+  run with zero duplicated computations; the campaign behaves
+  identically on ``MemoryDriver``.
+"""
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+
+import pytest
+
+from repro.campaign.cli import main as campaign_cli
+from repro.campaign.faults import (
+    STORAGE_FAULT_PLAN_ENV,
+    FaultPlan,
+    StorageFaultPlan,
+    StorageFaultRule,
+)
+from repro.campaign.leases import HeartbeatThread, LeaseManager
+from repro.campaign.presets import fig17_campaign
+from repro.campaign.runner import (
+    EXEC_LOG_ENV,
+    CampaignRunner,
+    RetryPolicy,
+)
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.storage import (
+    FaultyDriver,
+    MemoryDriver,
+    PosixDriver,
+    PrefixDriver,
+    RetryingDriver,
+    StorageRetryPolicy,
+    build_driver,
+)
+from repro.campaign.store import CampaignStore
+from repro.errors import (
+    ConfigurationError,
+    PersistentStorageError,
+    StorageMissingError,
+    TransientStorageError,
+)
+
+#: Fast storage retry policy for tests (real backoffs, tiny delays).
+FAST_STORAGE_RETRY = StorageRetryPolicy(
+    max_attempts=5, base_delay_s=0.002, max_delay_s=0.01
+)
+
+
+def small_spec(counts=(1, 2), **overrides):
+    kwargs = dict(
+        rng=0, device_counts=counts, n_rounds=1, engine="analytic"
+    )
+    kwargs.update(overrides)
+    return fig17_campaign(**kwargs)
+
+
+def storage_plan(rules, seed=0):
+    return StorageFaultPlan(
+        rules=tuple(StorageFaultRule(**rule) for rule in rules),
+        seed=seed,
+    )
+
+
+def make_driver(kind, tmp_path):
+    if kind == "posix":
+        return PosixDriver(tmp_path / "driver")
+    return MemoryDriver()
+
+
+@pytest.fixture(params=["posix", "memory"])
+def driver(request, tmp_path):
+    return make_driver(request.param, tmp_path)
+
+
+class TestDriverContract:
+    """Same observable semantics on every backend."""
+
+    def test_get_missing_raises_missing(self, driver):
+        with pytest.raises(StorageMissingError):
+            driver.get("points/absent.json")
+        assert not driver.exists("points/absent.json")
+
+    def test_put_atomic_roundtrip_and_overwrite(self, driver):
+        driver.put_atomic("points/a.json", b"one")
+        assert driver.get("points/a.json") == b"one"
+        driver.put_atomic("points/a.json", b"two")
+        assert driver.get("points/a.json") == b"two"
+
+    def test_put_exclusive_single_winner(self, driver):
+        assert driver.put_exclusive("leases/a.lease", b"w1") is True
+        assert driver.put_exclusive("leases/a.lease", b"w2") is False
+        assert driver.get("leases/a.lease") == b"w1"
+
+    def test_replace_then_read_back(self, driver):
+        driver.put_exclusive("leases/a.lease", b"w1")
+        driver.replace("leases/a.lease", b"w2")
+        assert driver.get("leases/a.lease") == b"w2"
+
+    def test_delete_is_idempotent(self, driver):
+        driver.put_atomic("x", b"1")
+        assert driver.delete("x") is True
+        assert driver.delete("x") is False
+        assert not driver.exists("x")
+
+    def test_list_by_prefix_sorted(self, driver):
+        driver.put_atomic("points/b.json", b"1")
+        driver.put_atomic("points/a.json", b"1")
+        driver.put_atomic("failures/c.json", b"1")
+        assert driver.list("points/") == [
+            "points/a.json",
+            "points/b.json",
+        ]
+        assert "failures/c.json" in driver.list("")
+
+    def test_stat_size_and_missing(self, driver):
+        driver.put_atomic("x", b"12345")
+        assert driver.stat("x").size == 5
+        with pytest.raises(StorageMissingError):
+            driver.stat("absent")
+
+    def test_rename_moves_atomically(self, driver):
+        driver.put_atomic("points/a.json", b"payload")
+        driver.rename("points/a.json", "quarantine/a.json")
+        assert not driver.exists("points/a.json")
+        assert driver.get("quarantine/a.json") == b"payload"
+        with pytest.raises(StorageMissingError):
+            driver.rename("points/a.json", "quarantine/b.json")
+
+    @pytest.mark.parametrize(
+        "key", ["/abs", "a/../b", "./x", "", "a\\b"]
+    )
+    def test_traversal_keys_rejected(self, driver, key):
+        with pytest.raises(ConfigurationError):
+            driver.put_atomic(key, b"x")
+
+    def test_stats_count_operations(self, driver):
+        driver.put_atomic("x", b"abc")
+        driver.get("x")
+        stats = driver.stats()
+        assert stats["ops"]["put_atomic"] == 1
+        assert stats["ops"]["get"] == 1
+        assert stats["bytes_written"] == 3
+        assert stats["bytes_read"] == 3
+
+
+class TestPosixDurability:
+    def test_temporaries_never_listed_or_read(self, tmp_path):
+        posix = PosixDriver(tmp_path)
+        posix.put_atomic("points/a.json", b"1")
+        (tmp_path / ".tmp").mkdir(exist_ok=True)
+        (tmp_path / ".tmp" / "junk.tmp").write_bytes(b"partial")
+        assert posix.list("") == ["points/a.json"]
+
+    def test_put_atomic_fsyncs_file_and_directory(
+        self, tmp_path, monkeypatch
+    ):
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))
+        )
+        PosixDriver(tmp_path).put_atomic("points/a.json", b"1")
+        # One fsync for the tmp file's contents, one for the
+        # destination directory entry after the rename.
+        assert len(synced) >= 2
+
+    def test_fsync_false_skips_syncs(self, tmp_path, monkeypatch):
+        synced = []
+        monkeypatch.setattr(os, "fsync", lambda fd: synced.append(fd))
+        PosixDriver(tmp_path, fsync=False).put_atomic("a", b"1")
+        assert synced == []
+
+    def test_exclusive_create_also_synced(self, tmp_path, monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))
+        )
+        PosixDriver(tmp_path).put_exclusive("leases/a.lease", b"1")
+        assert len(synced) >= 2
+
+
+class TestPrefixDriver:
+    def test_namespaces_keys(self):
+        inner = MemoryDriver()
+        scoped = PrefixDriver(inner, "leases/")
+        scoped.put_exclusive("a.lease", b"1")
+        assert inner.list("") == ["leases/a.lease"]
+        assert scoped.list("") == ["a.lease"]
+        scoped.replace("a.lease", b"2")
+        assert scoped.get("a.lease") == b"2"
+        assert scoped.delete("a.lease") is True
+        assert inner.list("") == []
+
+
+class TestFaultyDriver:
+    def test_error_fires_on_selected_calls_only(self):
+        faulty = FaultyDriver(
+            MemoryDriver(),
+            storage_plan([{"kind": "error", "op": "get", "calls": [2]}]),
+        )
+        faulty.put_atomic("x", b"1")
+        assert faulty.get("x") == b"1"  # call 1: clean
+        with pytest.raises(TransientStorageError):
+            faulty.get("x")  # call 2: injected
+        assert faulty.get("x") == b"1"  # call 3: clean again
+        assert faulty.n_injected == 1
+
+    def test_key_prefix_scopes_injection(self):
+        faulty = FaultyDriver(
+            MemoryDriver(),
+            storage_plan(
+                [
+                    {
+                        "kind": "error",
+                        "op": "put_atomic",
+                        "key_prefix": "points/",
+                        "calls": [1],
+                    }
+                ]
+            ),
+        )
+        faulty.put_atomic("manifest.json", b"ok")  # not selected
+        with pytest.raises(TransientStorageError):
+            faulty.put_atomic("points/a.json", b"boom")
+
+    def test_probabilistic_rule_is_seeded_and_capped(self):
+        rules = [{"kind": "error", "op": "get", "p": 0.5, "max_fires": 2}]
+
+        def run_sequence():
+            faulty = FaultyDriver(
+                MemoryDriver(), storage_plan(rules, seed=7)
+            )
+            faulty.inner.put_atomic("x", b"1")
+            outcomes = []
+            for _ in range(12):
+                try:
+                    faulty.get("x")
+                    outcomes.append("ok")
+                except TransientStorageError:
+                    outcomes.append("err")
+            return outcomes
+
+        first, second = run_sequence(), run_sequence()
+        assert first == second  # seeded: reproducible
+        assert first.count("err") == 2  # max_fires cap
+
+    def test_torn_write_lands_prefix_and_raises(self):
+        faulty = FaultyDriver(
+            MemoryDriver(),
+            storage_plan(
+                [
+                    {
+                        "kind": "torn",
+                        "op": "put_atomic",
+                        "calls": [1],
+                        "offset": 3,
+                    }
+                ]
+            ),
+        )
+        with pytest.raises(TransientStorageError):
+            faulty.put_atomic("points/a.json", b"0123456789")
+        # The partial payload landed through the raw backend.
+        assert faulty.inner.get("points/a.json") == b"012"
+        # The retry (call 2) commits the full payload.
+        faulty.put_atomic("points/a.json", b"0123456789")
+        assert faulty.get("points/a.json") == b"0123456789"
+
+    def test_silent_torn_write_reports_success(self):
+        faulty = FaultyDriver(
+            MemoryDriver(),
+            storage_plan(
+                [
+                    {
+                        "kind": "torn",
+                        "op": "put_atomic",
+                        "calls": [1],
+                        "offset": 0,
+                        "silent": True,
+                    }
+                ]
+            ),
+        )
+        faulty.put_atomic("points/a.json", b"full")  # no raise
+        assert faulty.inner.get("points/a.json") == b""
+
+    def test_hang_delays_then_succeeds(self):
+        faulty = FaultyDriver(
+            MemoryDriver(),
+            storage_plan(
+                [
+                    {
+                        "kind": "hang",
+                        "op": "get",
+                        "calls": [1],
+                        "hang_s": 0.1,
+                    }
+                ]
+            ),
+        )
+        faulty.put_atomic("x", b"1")
+        started = time.perf_counter()
+        assert faulty.get("x") == b"1"
+        assert time.perf_counter() - started >= 0.1
+
+    def test_persistent_kind_raises_persistent(self):
+        faulty = FaultyDriver(
+            MemoryDriver(),
+            storage_plan(
+                [{"kind": "persistent", "op": "put_atomic", "calls": [1]}]
+            ),
+        )
+        with pytest.raises(PersistentStorageError):
+            faulty.put_atomic("x", b"1")
+
+    def test_plan_round_trips_through_json(self):
+        plan = storage_plan(
+            [
+                {"kind": "torn", "op": "replace", "offset": 2},
+                {"kind": "error", "p": 0.25, "max_fires": 3},
+            ],
+            seed=9,
+        )
+        assert StorageFaultPlan.from_json(
+            json.dumps(plan.to_dict())
+        ) == plan
+
+    def test_invalid_rules_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StorageFaultRule(kind="torn", op="get")
+        with pytest.raises(ConfigurationError):
+            StorageFaultRule(kind="error", calls=(1,), p=0.5)
+        with pytest.raises(ConfigurationError):
+            StorageFaultRule(kind="error", p=1.5)
+        with pytest.raises(ConfigurationError):
+            StorageFaultRule(kind="nope")
+
+    def test_from_env_inline_and_unset(self, monkeypatch):
+        monkeypatch.delenv(STORAGE_FAULT_PLAN_ENV, raising=False)
+        assert StorageFaultPlan.from_env() is None
+        monkeypatch.setenv(
+            STORAGE_FAULT_PLAN_ENV,
+            json.dumps(storage_plan([{"kind": "error"}]).to_dict()),
+        )
+        plan = StorageFaultPlan.from_env()
+        assert plan is not None and plan.rules[0].kind == "error"
+
+
+class TestRetryingDriver:
+    def test_transient_errors_heal_within_budget(self):
+        faulty = FaultyDriver(
+            MemoryDriver(),
+            storage_plan(
+                [{"kind": "error", "op": "get", "calls": [1, 2]}]
+            ),
+        )
+        retrying = RetryingDriver(faulty, FAST_STORAGE_RETRY)
+        retrying.put_atomic("x", b"1")
+        assert retrying.get("x") == b"1"  # healed after 2 retries
+        assert retrying.n_retries == 2
+
+    def test_exhaustion_escalates_to_persistent(self):
+        faulty = FaultyDriver(
+            MemoryDriver(),
+            storage_plan([{"kind": "error", "op": "get", "p": 1.0}]),
+        )
+        retrying = RetryingDriver(
+            faulty,
+            StorageRetryPolicy(max_attempts=3, base_delay_s=0.001),
+        )
+        faulty.inner.put_atomic("x", b"1")
+        with pytest.raises(PersistentStorageError):
+            retrying.get("x")
+
+    def test_missing_and_persistent_pass_through_unretried(self):
+        faulty = FaultyDriver(
+            MemoryDriver(),
+            storage_plan(
+                [{"kind": "persistent", "op": "put_atomic", "calls": [1]}]
+            ),
+        )
+        retrying = RetryingDriver(faulty, FAST_STORAGE_RETRY)
+        with pytest.raises(StorageMissingError):
+            retrying.get("absent")
+        with pytest.raises(PersistentStorageError):
+            retrying.put_atomic("x", b"1")
+        assert retrying.n_retries == 0
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        policy = StorageRetryPolicy(
+            max_attempts=4, base_delay_s=0.01, max_delay_s=0.05
+        )
+        a = policy.backoff_s("get", "points/x.json", 1)
+        assert a == policy.backoff_s("get", "points/x.json", 1)
+        assert a != policy.backoff_s("get", "points/y.json", 1)
+        for attempt in range(1, 10):
+            assert policy.backoff_s("get", "k", attempt) <= 0.05 * 1.25
+
+    def test_op_timeout_turns_hang_into_retry(self):
+        faulty = FaultyDriver(
+            MemoryDriver(),
+            storage_plan(
+                [
+                    {
+                        "kind": "hang",
+                        "op": "get",
+                        "calls": [1],
+                        "hang_s": 5.0,
+                    }
+                ]
+            ),
+        )
+        retrying = RetryingDriver(
+            faulty,
+            StorageRetryPolicy(
+                max_attempts=3, base_delay_s=0.001, op_timeout_s=0.05
+            ),
+        )
+        faulty.inner.put_atomic("x", b"1")
+        started = time.perf_counter()
+        assert retrying.get("x") == b"1"  # timed out once, then clean
+        assert time.perf_counter() - started < 2.0
+        assert retrying.n_retries == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_s": -1.0},
+            {"max_delay_s": 0.0, "base_delay_s": 1.0},
+            {"jitter": 2.0},
+            {"op_timeout_s": 0.0},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            StorageRetryPolicy(**kwargs)
+
+
+class TestBuildDriver:
+    def test_names_and_fault_plan_wrapping(self, tmp_path):
+        assert isinstance(
+            build_driver("posix", tmp_path / "s"), PosixDriver
+        )
+        assert isinstance(build_driver("memory", tmp_path), MemoryDriver)
+        faulty = build_driver("faulty", tmp_path / "s")
+        assert isinstance(faulty, FaultyDriver)
+        wrapped = build_driver(
+            "posix",
+            tmp_path / "s",
+            storage_fault_plan=storage_plan([{"kind": "error"}]),
+        )
+        assert isinstance(wrapped, FaultyDriver)
+        with pytest.raises(ConfigurationError):
+            build_driver("s3", tmp_path)
+
+
+class TestHeartbeatResilience:
+    """Satellite: the heartbeat survives transient I/O faults."""
+
+    def test_heartbeat_retries_through_transient_faults(self, caplog):
+        faulty = FaultyDriver(
+            MemoryDriver(),
+            storage_plan(
+                [{"kind": "error", "op": "replace", "calls": [1, 2]}]
+            ),
+        )
+        leases = LeaseManager(faulty, owner="w1", ttl_s=0.6)
+        assert leases.acquire("h1")
+        with caplog.at_level("WARNING", logger="repro.campaign.leases"):
+            with HeartbeatThread(leases) as heartbeat:
+                # Two ticks fail on injected faults, later ticks heal;
+                # the lease deadline must keep moving forward.
+                deadline = time.monotonic() + 5.0
+                renewed = False
+                while time.monotonic() < deadline:
+                    holder = leases.holder("h1")
+                    if holder is not None and int(holder["renewals"]) >= 1:
+                        renewed = True
+                        break
+                    time.sleep(0.05)
+        assert renewed, "heartbeat never recovered from transient faults"
+        assert not heartbeat.gave_up
+        # Logged once, not once per failing tick.
+        warnings = [
+            r for r in caplog.records if "storage fault" in r.message
+        ]
+        assert len(warnings) == 1
+
+    def test_heartbeat_gives_up_after_ttl_of_failure(self):
+        faulty = FaultyDriver(
+            MemoryDriver(),
+            storage_plan([{"kind": "error", "op": "replace", "p": 1.0}]),
+        )
+        leases = LeaseManager(faulty, owner="w1", ttl_s=0.5)
+        assert leases.acquire("h1")
+        with HeartbeatThread(leases) as heartbeat:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline and not heartbeat.gave_up:
+                time.sleep(0.05)
+        assert heartbeat.gave_up
+
+    def test_claim_lost_on_storage_fault_not_corrupted(self):
+        faulty = FaultyDriver(
+            MemoryDriver(),
+            storage_plan(
+                [{"kind": "error", "op": "put_exclusive", "calls": [1]}]
+            ),
+        )
+        leases = LeaseManager(faulty, owner="w1", ttl_s=5.0)
+        assert leases.acquire("h1") is False  # fault → claim lost
+        assert leases.acquire("h1") is True  # clean retry wins
+        assert leases.holder("h1")["owner"] == "w1"
+
+
+def _faulty_store(root, plan, retry=FAST_STORAGE_RETRY):
+    return CampaignStore(
+        driver=FaultyDriver(PosixDriver(root), plan),
+        fault_plan=FaultPlan(),
+        retry=retry,
+    )
+
+
+class TestTornWriteSweep:
+    """Satellite: truncate puts at every interesting offset and assert
+    the store heals/quarantines and the campaign converges
+    byte-identical to a clean run."""
+
+    # 0 = empty file, 1 = one byte, 40 = mid-JSON header, large =
+    # everything but the closing brace/newline.
+    OFFSETS = (0, 1, 40, 400)
+
+    @pytest.mark.parametrize("offset", OFFSETS)
+    def test_silent_torn_chunk_heals_on_rerun(self, tmp_path, offset):
+        spec = small_spec(counts=(1,))
+        clean_root = tmp_path / "clean"
+        CampaignRunner(
+            store=CampaignStore(clean_root, fault_plan=FaultPlan()),
+            use_leases=False,
+        ).run(spec)
+
+        root = tmp_path / "store"
+        torn_store = _faulty_store(
+            root,
+            storage_plan(
+                [
+                    {
+                        "kind": "torn",
+                        "op": "put_atomic",
+                        "key_prefix": "points/",
+                        "calls": [1],
+                        "offset": offset,
+                        "silent": True,
+                    }
+                ]
+            ),
+        )
+        CampaignRunner(store=torn_store, use_leases=False).run(spec)
+
+        # The torn chunk landed "successfully"; a clean rerun must
+        # quarantine it, recompute, and converge byte-identically.
+        healed = CampaignStore(root, fault_plan=FaultPlan())
+        CampaignRunner(store=healed, use_leases=False).run(spec)
+        assert list(healed.quarantined().values()) == ["undecodable-json"]
+        healed.manifest()
+        clean_store = CampaignStore(clean_root, fault_plan=FaultPlan())
+        clean_store.manifest()
+        assert (root / "manifest.json").read_bytes() == (
+            clean_root / "manifest.json"
+        ).read_bytes()
+
+    def test_silent_torn_npz_payload_quarantined(self, tmp_path):
+        spec = small_spec(counts=(1,))
+        point = next(iter(spec.points()))
+        root = tmp_path / "store"
+        store = _faulty_store(
+            root,
+            storage_plan(
+                [
+                    {
+                        "kind": "torn",
+                        "op": "put_atomic",
+                        "key_prefix": f"points/{point.content_hash()}.npz",
+                        "calls": [1],
+                        "offset": 10,
+                        "silent": True,
+                    }
+                ]
+            ),
+        )
+        import numpy as np
+
+        store.save(
+            point,
+            {"m": 1.0},
+            {"backend": "x"},
+            arrays={"a": np.arange(4)},
+        )
+        assert store.has(point) is False  # quarantined, not served
+        assert store.quarantined() == {
+            point.content_hash(): "torn-array-payload"
+        }
+
+    def test_raised_torn_write_heals_without_recompute(
+        self, tmp_path, monkeypatch
+    ):
+        """Pre-rename torn write (the crash-mid-commit case) raises:
+        driver-level retry heals it with zero recomputation."""
+        exec_log = tmp_path / "exec.log"
+        monkeypatch.setenv(EXEC_LOG_ENV, str(exec_log))
+        spec = small_spec(counts=(1, 2))
+        root = tmp_path / "store"
+        store = _faulty_store(
+            root,
+            storage_plan(
+                [
+                    {
+                        "kind": "torn",
+                        "op": "put_atomic",
+                        "key_prefix": "points/",
+                        "calls": [1, 2],
+                    }
+                ]
+            ),
+        )
+        run = CampaignRunner(store=store, use_leases=False).run(spec)
+        assert run.n_computed == 2 and not run.storage_degraded
+        assert store.quarantined() == {}
+        # Zero duplicated computations: the torn attempts were healed
+        # below the execution layer.
+        logged = exec_log.read_text().split()
+        hashes = [p.content_hash() for p in spec.points()]
+        assert sorted(logged[::2]) == sorted(hashes)
+
+
+class TestReadOnlyDegradation:
+    """Persistent write failure degrades to read-only serving."""
+
+    def _dead_writes_store(self, root):
+        return _faulty_store(
+            root,
+            storage_plan(
+                [
+                    {
+                        "kind": "persistent",
+                        "op": "put_atomic",
+                        "key_prefix": "points/",
+                        "p": 1.0,
+                    }
+                ]
+            ),
+        )
+
+    def test_allow_partial_computes_without_persisting(
+        self, tmp_path, caplog
+    ):
+        spec = small_spec(counts=(1, 2))
+        store = self._dead_writes_store(tmp_path / "store")
+        with caplog.at_level("WARNING", logger="repro.campaign.runner"):
+            run = CampaignRunner(
+                store=store, allow_partial=True
+            ).run(spec)
+        assert run.storage_degraded
+        assert len(run.results) == 2 and run.failures == []
+        assert len(store) == 0  # nothing persisted
+        assert any("read-only" in r.message for r in caplog.records)
+
+    def test_without_allow_partial_surfaces_the_fault(self, tmp_path):
+        spec = small_spec(counts=(1,))
+        store = self._dead_writes_store(tmp_path / "store")
+        with pytest.raises(PersistentStorageError):
+            CampaignRunner(store=store, allow_partial=False).run(spec)
+
+    def test_degraded_run_still_serves_cached_points(self, tmp_path):
+        spec = small_spec(counts=(1, 2))
+        root = tmp_path / "store"
+        CampaignRunner(
+            store=CampaignStore(root, fault_plan=FaultPlan()),
+            use_leases=False,
+        ).run(spec)
+        # Reads work, writes are dead: cached points still serve.
+        run = CampaignRunner(
+            store=self._dead_writes_store(root), allow_partial=True
+        ).run(spec)
+        assert run.n_cached == 2 and not run.storage_degraded
+
+
+class TestMemoryDriverCampaign:
+    """The campaign behaves identically on the in-process backend."""
+
+    def test_end_to_end_with_caching_and_manifest_parity(self, tmp_path):
+        spec = small_spec(counts=(1, 2))
+        memory_store = CampaignStore(
+            driver=MemoryDriver(), fault_plan=FaultPlan()
+        )
+        first = CampaignRunner(store=memory_store).run(spec)
+        assert first.n_computed == 2
+        second = CampaignRunner(store=memory_store).run(spec)
+        assert second.n_cached == 2 and second.n_computed == 0
+        assert memory_store.active_leases() == []
+        assert memory_store.failures() == []
+
+        # Manifest bytes equal the posix store's for the same points.
+        posix_root = tmp_path / "posix"
+        posix_store = CampaignStore(posix_root, fault_plan=FaultPlan())
+        CampaignRunner(store=posix_store).run(spec)
+        memory_store.manifest()
+        posix_store.manifest()
+        assert memory_store.driver.get("manifest.json") == (
+            posix_root / "manifest.json"
+        ).read_bytes()
+
+    def test_two_threaded_runners_partition_one_memory_store(
+        self, tmp_path, monkeypatch
+    ):
+        exec_log = tmp_path / "exec.log"
+        monkeypatch.setenv(EXEC_LOG_ENV, str(exec_log))
+        spec = small_spec(counts=(1, 2, 3, 4))
+        hashes = [p.content_hash() for p in spec.points()]
+        store = CampaignStore(
+            driver=MemoryDriver(), fault_plan=FaultPlan()
+        )
+
+        def run_one(owner):
+            CampaignRunner(
+                store=store,
+                owner=owner,
+                lease_ttl_s=5.0,
+                wait_poll_s=0.02,
+                fault_plan=FaultPlan(),
+            ).run(spec)
+
+        threads = [
+            threading.Thread(target=run_one, args=(name,))
+            for name in ("w1", "w2")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        assert sorted(store.manifest()["points"]) == sorted(hashes)
+        logged = [
+            line.split()[0]
+            for line in exec_log.read_text().splitlines()
+            if line.strip()
+        ]
+        assert sorted(logged) == sorted(hashes)
+
+    def test_store_status_reports_driver_stats(self):
+        store = CampaignStore(
+            driver=MemoryDriver(), fault_plan=FaultPlan()
+        )
+        status = store.status()
+        assert status["storage"]["driver"].startswith("retrying(")
+        assert "ops" in status["storage"]
+
+
+def _child_run_faulty(root, spec_dict, plan_json, owner, lease_ttl_s):
+    """One campaign over FaultyDriver(Posix) in a forked child."""
+    store = CampaignStore(
+        driver=FaultyDriver(
+            PosixDriver(root), StorageFaultPlan.from_json(plan_json)
+        ),
+        fault_plan=FaultPlan(),
+        retry=StorageRetryPolicy(
+            max_attempts=6, base_delay_s=0.005, max_delay_s=0.03
+        ),
+    )
+    CampaignRunner(
+        store=store,
+        workers=None,
+        fault_plan=FaultPlan(),
+        retry=RetryPolicy(max_attempts=3, base_delay_s=0.01),
+        owner=owner,
+        lease_ttl_s=lease_ttl_s,
+        wait_poll_s=0.05,
+    ).run(CampaignSpec.from_dict(spec_dict))
+
+
+class TestFaultyDriverAcceptance:
+    """The PR's acceptance bar: two concurrent runners over
+    ``FaultyDriver`` (seeded transient I/O errors, torn writes, one
+    injected hang) converge to a manifest byte-identical to a
+    single-shot clean ``PosixDriver`` run, with zero duplicated
+    computations."""
+
+    def test_two_runners_over_faulty_driver_converge(
+        self, tmp_path, monkeypatch
+    ):
+        spec = small_spec(counts=(1, 2, 3, 4))
+        hashes = [p.content_hash() for p in spec.points()]
+        store_root = tmp_path / "store"
+
+        clean_root = tmp_path / "clean"
+        CampaignRunner(
+            store=CampaignStore(clean_root, fault_plan=FaultPlan()),
+            use_leases=False,
+        ).run(spec)
+        CampaignStore(clean_root, fault_plan=FaultPlan()).manifest()
+
+        exec_log = tmp_path / "exec.log"
+        monkeypatch.setenv(EXEC_LOG_ENV, str(exec_log))
+
+        # w1: torn chunk writes (raising — driver retry heals them)
+        # plus one injected storage hang; w2: seeded transient errors
+        # across reads and lease claims. All within the retry budget,
+        # so no attempt ever escalates or recomputes.
+        w1_plan = json.dumps(
+            storage_plan(
+                [
+                    {
+                        "kind": "torn",
+                        "op": "put_atomic",
+                        "key_prefix": "points/",
+                        "calls": [1, 3],
+                    },
+                    {
+                        "kind": "hang",
+                        "op": "get",
+                        "calls": [2],
+                        "hang_s": 0.2,
+                    },
+                ],
+                seed=1,
+            ).to_dict()
+        )
+        w2_plan = json.dumps(
+            storage_plan(
+                [
+                    {
+                        "kind": "error",
+                        "op": "get",
+                        "p": 0.1,
+                        "max_fires": 4,
+                    },
+                    {
+                        "kind": "error",
+                        "op": "put_exclusive",
+                        "key_prefix": "leases/",
+                        "calls": [2],
+                    },
+                ],
+                seed=2,
+            ).to_dict()
+        )
+
+        context = multiprocessing.get_context("fork")
+        workers = [
+            context.Process(
+                target=_child_run_faulty,
+                args=(
+                    str(store_root),
+                    spec.to_dict(),
+                    plan,
+                    name,
+                    5.0,
+                ),
+            )
+            for name, plan in (("w1", w1_plan), ("w2", w2_plan))
+        ]
+        try:
+            for process in workers:
+                process.start()
+            for process in workers:
+                process.join(timeout=120.0)
+                assert process.exitcode == 0
+        finally:
+            for process in workers:
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=10.0)
+
+        store = CampaignStore(store_root, fault_plan=FaultPlan())
+        assert sorted(store.manifest()["points"]) == sorted(hashes)
+        assert store.active_leases() == []
+        assert store.failures() == []
+        assert store.quarantined() == {}
+
+        # Byte-identical to the clean single-shot posix manifest.
+        assert (store_root / "manifest.json").read_bytes() == (
+            clean_root / "manifest.json"
+        ).read_bytes()
+
+        # Zero duplicated computations despite every injected fault.
+        logged = [
+            line.split()[0]
+            for line in exec_log.read_text().splitlines()
+            if line.strip()
+        ]
+        assert sorted(logged) == sorted(hashes)
+        assert len(logged) == len(set(logged))
+
+
+class TestCliStorageFlags:
+    def test_run_on_memory_driver(self, tmp_path, capsys):
+        code = campaign_cli(
+            [
+                "run",
+                "--spec",
+                "fig17",
+                "--counts",
+                "1",
+                "--rounds",
+                "1",
+                "--store",
+                str(tmp_path / "mem"),
+                "--storage-driver",
+                "memory",
+                "--no-leases",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 points" in out and "memory" in out
+
+    def test_run_with_storage_fault_plan_heals(self, tmp_path, capsys):
+        plan = json.dumps(
+            storage_plan(
+                [
+                    {
+                        "kind": "error",
+                        "op": "put_atomic",
+                        "key_prefix": "points/",
+                        "calls": [1],
+                    }
+                ]
+            ).to_dict()
+        )
+        code = campaign_cli(
+            [
+                "run",
+                "--spec",
+                "fig17",
+                "--counts",
+                "1",
+                "--rounds",
+                "1",
+                "--store",
+                str(tmp_path / "store"),
+                "--storage-driver",
+                "faulty",
+                "--storage-fault-plan",
+                plan,
+                "--no-leases",
+            ]
+        )
+        assert code == 0
+        store = CampaignStore(tmp_path / "store", fault_plan=FaultPlan())
+        assert len(store) == 1
+
+    def test_status_json_is_one_machine_readable_line(
+        self, tmp_path, capsys
+    ):
+        spec = small_spec(counts=(1,))
+        CampaignRunner(
+            store=CampaignStore(
+                tmp_path / "store", fault_plan=FaultPlan()
+            ),
+            use_leases=False,
+        ).run(spec)
+        code = campaign_cli(
+            ["status", "--store", str(tmp_path / "store"), "--json"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert len(out.strip().splitlines()) == 1
+        status = json.loads(out)
+        assert status["n_points"] == 1
+        assert status["storage"]["driver"] == "retrying(posix)"
