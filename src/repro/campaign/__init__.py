@@ -20,13 +20,19 @@ declarative, cacheable artifacts:
   :class:`StorageDriver` layer every byte of campaign state flows
   through (posix with fsync-on-commit, in-memory, fault-injecting),
   with bounded per-operation retries and seeded-jitter backoff;
+* :mod:`repro.campaign.objectstore` — the remote half:
+  :class:`HttpDriver` speaking a minimal S3-style REST protocol to
+  :class:`ObjectStoreService` (``python -m repro.campaign serve``),
+  with server-side network-chaos injection and a client-side
+  :class:`CircuitBreakerDriver`;
 * :mod:`repro.campaign.faults` — deterministic fault injection
   (:class:`FaultPlan` / ``REPRO_FAULT_PLAN``, :class:`StorageFaultPlan`
   / ``REPRO_STORAGE_FAULT_PLAN``) exercising every recovery path
   above in CI;
 * :mod:`repro.campaign.presets` — builtin specs matching the Fig.
   17/18 drivers seed for seed;
-* ``python -m repro.campaign`` — ``run`` / ``status`` / ``export``.
+* ``python -m repro.campaign`` — ``run`` / ``status`` / ``export`` /
+  ``serve``.
 
 See the Campaign layer sections of ``docs/ARCHITECTURE.md``.
 """
@@ -38,6 +44,11 @@ from repro.campaign.faults import (
     StorageFaultRule,
 )
 from repro.campaign.leases import LeaseManager
+from repro.campaign.objectstore import (
+    CircuitBreakerDriver,
+    HttpDriver,
+    ObjectStoreService,
+)
 from repro.campaign.storage import (
     FaultyDriver,
     MemoryDriver,
@@ -45,6 +56,8 @@ from repro.campaign.storage import (
     RetryingDriver,
     StorageDriver,
     StorageRetryPolicy,
+    build_driver,
+    parse_driver_spec,
 )
 from repro.campaign.presets import (
     PRESETS,
@@ -73,11 +86,14 @@ __all__ = [
     "CampaignRunner",
     "CampaignSpec",
     "CampaignStore",
+    "CircuitBreakerDriver",
     "FaultPlan",
     "FaultRule",
     "FaultyDriver",
+    "HttpDriver",
     "LeaseManager",
     "MemoryDriver",
+    "ObjectStoreService",
     "PRESETS",
     "PosixDriver",
     "RetryPolicy",
@@ -86,7 +102,9 @@ __all__ = [
     "StorageFaultPlan",
     "StorageFaultRule",
     "StorageRetryPolicy",
+    "build_driver",
     "build_preset",
+    "parse_driver_spec",
     "derive_seeds",
     "execute_point",
     "fig17_campaign",

@@ -21,13 +21,22 @@ Usage::
 
     # storage drivers: posix (default, fsync-durable), memory
     # (ephemeral smoke runs), faulty (posix + injected storage faults
-    # from a seeded plan; also honours $REPRO_STORAGE_FAULT_PLAN)
+    # from a seeded plan; also honours $REPRO_STORAGE_FAULT_PLAN).
+    # URL specs select the same backends explicitly — posix:///path,
+    # memory://, http://host:port/bucket (remote object store)
     python -m repro.campaign run --spec fig17 --store runs/fig17 \\
         --storage-driver faulty --storage-fault-plan storage-plan.json
+    python -m repro.campaign run --spec fig17 \\
+        --storage-driver http://127.0.0.1:8123/campaign
+
+    # serve a store over HTTP for remote runners (hermetic object
+    # store; --fault-plan network rules inject seeded chaos for tests)
+    python -m repro.campaign serve --root runs/fig17 --port 8123
 
     # what the store holds / the merged results table (status includes
     # leased/failed/quarantined counts and per-driver I/O stats;
-    # --json emits one compact machine-readable line)
+    # --json emits one compact machine-readable line); both work
+    # against a remote store via --storage-driver http://...
     python -m repro.campaign status --store runs/fig17
     python -m repro.campaign status --store runs/fig17 --json
     python -m repro.campaign export --store runs/fig17 --format csv
@@ -52,7 +61,11 @@ from repro.campaign.faults import FaultPlan, StorageFaultPlan
 from repro.campaign.presets import PRESETS, build_preset
 from repro.campaign.runner import CampaignRunner, RetryPolicy
 from repro.campaign.spec import CampaignSpec
-from repro.campaign.storage import DRIVER_NAMES, build_driver
+from repro.campaign.storage import (
+    DRIVER_NAMES,
+    build_driver,
+    parse_driver_spec,
+)
 from repro.campaign.store import CampaignStore
 from repro.errors import (
     CampaignExecutionError,
@@ -84,8 +97,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--store",
-        required=True,
-        help="store directory (created if missing; reruns resume here)",
+        default=None,
+        help=(
+            "store directory (created if missing; reruns resume "
+            "here); optional when --storage-driver is a rootless URL "
+            "spec (memory://, http://host:port/bucket)"
+        ),
     )
     run.add_argument(
         "--seed",
@@ -153,11 +170,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--storage-driver",
-        choices=DRIVER_NAMES,
         default="posix",
         help=(
-            "storage backend: posix (durable, default), memory "
-            "(ephemeral), faulty (posix + injected storage faults)"
+            f"storage backend: a name ({', '.join(DRIVER_NAMES)}) or "
+            "a URL spec — posix:///path, memory://, "
+            "http://host:port/bucket (remote object store)"
         ),
     )
     run.add_argument(
@@ -171,7 +188,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     status = sub.add_parser("status", help="summarise a store")
-    status.add_argument("--store", required=True)
+    status.add_argument("--store", default=None)
+    status.add_argument(
+        "--storage-driver",
+        default=None,
+        help=(
+            "driver spec for non-posix stores "
+            "(e.g. http://host:port/bucket)"
+        ),
+    )
     status.add_argument(
         "--json",
         action="store_true",
@@ -181,7 +206,15 @@ def _build_parser() -> argparse.ArgumentParser:
     export = sub.add_parser(
         "export", help="merged per-point results table from a store"
     )
-    export.add_argument("--store", required=True)
+    export.add_argument("--store", default=None)
+    export.add_argument(
+        "--storage-driver",
+        default=None,
+        help=(
+            "driver spec for non-posix stores "
+            "(e.g. http://host:port/bucket)"
+        ),
+    )
     export.add_argument(
         "--format", choices=("json", "csv"), default="json"
     )
@@ -190,6 +223,36 @@ def _build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="write here instead of stdout",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a store over HTTP for remote runners",
+    )
+    serve.add_argument(
+        "--root",
+        default=None,
+        help="posix store directory to serve (default: in-memory)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8123,
+        help="listen port (0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--bucket",
+        default="campaign",
+        help="bucket path segment clients must address",
+    )
+    serve.add_argument(
+        "--storage-fault-plan",
+        default=None,
+        help=(
+            "seeded fault plan whose *network* rules are injected "
+            "server-side (chaos testing; inline JSON or a path)"
+        ),
     )
     return parser
 
@@ -234,6 +297,31 @@ def _load_spec(args) -> CampaignSpec:
     return CampaignSpec.from_dict(json.loads(path.read_text()))
 
 
+def _parse_storage_plan(raw) -> StorageFaultPlan | None:
+    if raw is None:
+        return None
+    raw = raw.strip()
+    return (
+        StorageFaultPlan.from_json(raw)
+        if raw.startswith("{")
+        else StorageFaultPlan.from_file(raw)
+    )
+
+
+def _check_store_arg(spec: str, store) -> None:
+    """A posix-rooted driver spec needs ``--store``; URL backends with
+    their own root (or none) do not."""
+    parsed = parse_driver_spec(spec)
+    needs_root = (
+        parsed["scheme"] in ("posix", "faulty") and "root" not in parsed
+    )
+    if needs_root and store is None:
+        raise ReproError(
+            f"--store is required with --storage-driver {spec!r} "
+            "(posix-backed stores need a directory)"
+        )
+
+
 def _cmd_run(args) -> int:
     spec = _load_spec(args)
     fault_plan = None
@@ -244,14 +332,8 @@ def _cmd_run(args) -> int:
             if raw.startswith("{")
             else FaultPlan.from_file(raw)
         )
-    storage_plan = None
-    if args.storage_fault_plan is not None:
-        raw = args.storage_fault_plan.strip()
-        storage_plan = (
-            StorageFaultPlan.from_json(raw)
-            if raw.startswith("{")
-            else StorageFaultPlan.from_file(raw)
-        )
+    storage_plan = _parse_storage_plan(args.storage_fault_plan)
+    _check_store_arg(args.storage_driver, args.store)
     driver = build_driver(
         args.storage_driver, args.store, storage_fault_plan=storage_plan
     )
@@ -327,8 +409,23 @@ def _cmd_run(args) -> int:
     return 0 if not run.failures else 1
 
 
+def _open_store(args) -> CampaignStore:
+    """A read-side store from ``--store`` and/or ``--storage-driver``."""
+    spec = getattr(args, "storage_driver", None)
+    if spec is None:
+        if args.store is None:
+            raise ReproError(
+                "need --store (posix directory) or --storage-driver "
+                "(URL spec such as http://host:port/bucket)"
+            )
+        return CampaignStore(args.store)
+    _check_store_arg(spec, args.store)
+    driver = build_driver(spec, args.store)
+    return CampaignStore(driver=driver)
+
+
 def _cmd_status(args) -> int:
-    status = CampaignStore(args.store).status()
+    status = _open_store(args).status()
     if args.json:
         # One compact line: fleet monitors tail many stores at once.
         print(json.dumps(status, separators=(",", ":"), sort_keys=True))
@@ -353,7 +450,7 @@ def _format_rows(rows, fmt: str) -> str:
 
 
 def _cmd_export(args) -> int:
-    rows = CampaignStore(args.store).export_rows()
+    rows = _open_store(args).export_rows()
     text = _format_rows(rows, args.format)
     if args.output is not None:
         args.output.write_text(text)
@@ -363,12 +460,47 @@ def _cmd_export(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    # Imported here so the plain run/status paths never pay for the
+    # HTTP stack.
+    from repro.campaign.objectstore import ObjectStoreService
+    from repro.campaign.storage import PosixDriver
+
+    driver = (
+        PosixDriver(args.root) if args.root is not None else None
+    )
+    service = ObjectStoreService(
+        driver=driver,
+        host=args.host,
+        port=args.port,
+        bucket=args.bucket,
+        fault_plan=_parse_storage_plan(args.storage_fault_plan),
+    )
+    service.start()
+    backing = args.root if args.root is not None else "memory://"
+    print(
+        f"serving {backing} at {service.url} "
+        f"(--storage-driver {service.url})",
+        flush=True,
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+    return 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "status":
         return _cmd_status(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _cmd_export(args)
 
 

@@ -69,6 +69,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -334,6 +335,27 @@ STORAGE_OPS = (
 #: TransientStorageError unless ``silent`` (the undetected-crash case).
 STORAGE_KINDS = ("error", "persistent", "torn", "hang")
 
+#: Network-class kinds, injected *server-side* by the object-store
+#: service (:mod:`repro.campaign.objectstore`) rather than by the
+#: client's ``FaultyDriver`` — they model the wire, not the disk:
+#:
+#: * ``refuse`` — drop the connection before any response bytes (a
+#:   refused/reset connection);
+#: * ``http_error`` — respond ``status`` (default 503) with an
+#:   optional ``Retry-After: retry_after_s`` header, without touching
+#:   the backend;
+#: * ``disconnect`` — *perform* the operation, then truncate the
+#:   response mid-body and drop the connection (reads arrive torn;
+#:   writes land server-side while the client sees a failure — the
+#:   eventually-landing-write case the lease read-back reconciles);
+#: * ``delay`` — sleep ``hang_s`` before serving (a slow link);
+#: * ``stale_read`` — serve the *previous* committed state of the key
+#:   (eventual-visibility emulation; applies to get/exists/stat).
+NETWORK_KINDS = ("refuse", "http_error", "disconnect", "delay", "stale_read")
+
+#: Read operations eligible for ``stale_read`` faults.
+STORAGE_STALE_OPS = ("get", "exists", "stat")
+
 #: Write operations eligible for ``torn`` faults.
 STORAGE_WRITE_OPS = ("put_atomic", "put_exclusive", "replace")
 
@@ -360,12 +382,14 @@ class StorageFaultRule:
     hang_s: float = 0.05
     offset: Optional[int] = None  # torn: bytes kept (None = half)
     silent: bool = False  # torn lands without raising
+    status: int = 503  # http_error: response status
+    retry_after_s: Optional[float] = None  # http_error: Retry-After
 
     def __post_init__(self) -> None:
-        if self.kind not in STORAGE_KINDS:
+        if self.kind not in STORAGE_KINDS + NETWORK_KINDS:
             raise ConfigurationError(
-                f"storage fault kind must be one of {STORAGE_KINDS}, "
-                f"got {self.kind!r}"
+                f"storage fault kind must be one of "
+                f"{STORAGE_KINDS + NETWORK_KINDS}, got {self.kind!r}"
             )
         op = None if self.op in (None, "*") else self.op
         if op is not None and op not in STORAGE_OPS:
@@ -381,6 +405,23 @@ class StorageFaultRule:
                 f"'torn' storage faults only apply to write operations "
                 f"{STORAGE_WRITE_OPS}, got op={op!r}"
             )
+        if self.kind == "stale_read" and op is not None and (
+            op not in STORAGE_STALE_OPS
+        ):
+            raise ConfigurationError(
+                f"'stale_read' faults only apply to read operations "
+                f"{STORAGE_STALE_OPS}, got op={op!r}"
+            )
+        if self.kind == "http_error" and not (
+            400 <= int(self.status) <= 599
+        ):
+            raise ConfigurationError(
+                f"http_error status must be a 4xx/5xx code, "
+                f"got {self.status!r}"
+            )
+        object.__setattr__(self, "status", int(self.status))
+        if self.retry_after_s is not None and self.retry_after_s < 0:
+            raise ConfigurationError("retry_after_s must be >= 0")
         if self.calls is not None and self.p is not None:
             raise ConfigurationError(
                 "a storage fault rule takes 'calls' or 'p', not both"
@@ -484,6 +525,8 @@ class StorageFaultPlan:
                     "hang_s": rule.hang_s,
                     "offset": rule.offset,
                     "silent": rule.silent,
+                    "status": rule.status,
+                    "retry_after_s": rule.retry_after_s,
                 }
                 for rule in self.rules
             ],
@@ -498,18 +541,90 @@ class StorageFaultPlan:
         ).digest()
         return int.from_bytes(digest[:8], "big") / 2.0**64
 
+    def has_kind(self, *kinds: str) -> bool:
+        """True when any rule carries one of ``kinds``."""
+        return any(rule.kind in kinds for rule in self.rules)
+
+
+class StorageFaultSelector:
+    """Stateful, thread-safe rule selection over one storage fault plan.
+
+    Shared by the client-side :class:`~repro.campaign.storage.
+    FaultyDriver` and the object-store service's network injector
+    (:mod:`repro.campaign.objectstore`): per-rule *matching-call*
+    counters advance deterministically, so a given operation sequence
+    reproduces the same injections wherever the plan is consulted.
+
+    ``kinds`` restricts which rule kinds this consumer may fire — the
+    driver ignores network-class rules, the HTTP service ignores
+    storage-class ones — and ignored rules do not advance their
+    counters here, so one plan can carry both classes without the two
+    consumers perturbing each other's call indices.
+    """
+
+    def __init__(
+        self,
+        plan: "StorageFaultPlan",
+        kinds: Optional[Tuple[str, ...]] = None,
+    ) -> None:
+        self._plan = plan
+        self._kinds = tuple(kinds) if kinds is not None else None
+        self._lock = threading.Lock()
+        self._seen: Dict[int, int] = {}
+        self._fired: Dict[int, int] = {}
+        self._n_injected = 0
+
+    @property
+    def plan(self) -> "StorageFaultPlan":
+        return self._plan
+
+    @property
+    def n_injected(self) -> int:
+        with self._lock:
+            return self._n_injected
+
+    def consult(self, op: str, key: str) -> Optional[StorageFaultRule]:
+        """First eligible rule firing on this call, advancing counters."""
+        with self._lock:
+            chosen = None
+            for index, rule in enumerate(self._plan.rules):
+                if self._kinds is not None and rule.kind not in self._kinds:
+                    continue
+                if not rule.selects(op, key):
+                    continue
+                self._seen[index] = n = self._seen.get(index, 0) + 1
+                if chosen is not None:
+                    continue  # still count later rules' matches
+                if (
+                    rule.max_fires is not None
+                    and self._fired.get(index, 0) >= rule.max_fires
+                ):
+                    continue
+                if rule.calls is not None:
+                    fires = n in rule.calls
+                else:
+                    fires = self._plan.unit(op, key, n) < float(rule.p)
+                if fires:
+                    self._fired[index] = self._fired.get(index, 0) + 1
+                    self._n_injected += 1
+                    chosen = rule
+            return chosen
+
 
 __all__ = [
     "FAULT_PLAN_ENV",
     "PLAN_SCHEMA",
+    "NETWORK_KINDS",
     "STORAGE_FAULT_PLAN_ENV",
     "STORAGE_KINDS",
     "STORAGE_OPS",
     "STORAGE_PLAN_SCHEMA",
+    "STORAGE_STALE_OPS",
     "STORAGE_WRITE_OPS",
     "FaultPlan",
     "FaultRule",
     "StorageFaultPlan",
     "StorageFaultRule",
+    "StorageFaultSelector",
     "tear_file",
 ]

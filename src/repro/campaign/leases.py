@@ -73,6 +73,16 @@ def default_owner_id() -> str:
     return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
 
 
+def _deadline(payload: Dict[str, object]) -> float:
+    """A lease payload's deadline as a float; 0.0 (expired) when the
+    field is missing or not a number — a mangled deadline must read as
+    stealable, never crash the claim path."""
+    value = payload.get("deadline", 0.0)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return 0.0
+    return float(value)
+
+
 def parse_lease(data: bytes) -> Optional[Dict[str, object]]:
     """Decode one lease payload, or ``None`` when torn/foreign.
 
@@ -244,7 +254,7 @@ class LeaseManager:
             current = self._read(content_hash)
             if (
                 current is not None
-                and float(current.get("deadline", 0.0)) > time.time()
+                and _deadline(current) > time.time()
                 and current.get("owner") != self._owner
             ):
                 return False  # live lease held elsewhere
@@ -320,7 +330,7 @@ class LeaseManager:
         current = self._read(content_hash)
         if current is None:
             return None
-        if float(current.get("deadline", 0.0)) <= time.time():
+        if _deadline(current) <= time.time():
             return None
         return current
 

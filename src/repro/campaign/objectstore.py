@@ -1,0 +1,972 @@
+"""Remote object-store driver + hermetic HTTP object-store service.
+
+The network half of the storage layer: :class:`HttpDriver` speaks a
+minimal S3-style REST protocol to :class:`ObjectStoreService` (a
+``ThreadingHTTPServer`` over any local :class:`~repro.campaign.storage.
+StorageDriver`), so campaign state — chunks, leases, failures,
+quarantine, manifest — spans hosts behind the same
+:class:`~repro.campaign.storage.StorageDriver` contract the posix and
+memory backends honour. The service runs in-process for tests and as
+``python -m repro.campaign serve`` for real deployments; HSDS's
+``storUtil`` pluggable posix/S3/Azure split is the model.
+
+Wire protocol (single bucket, keys are driver keys)
+===================================================
+
+========================  =============================================
+``GET /b/<key>``          body + ``ETag``/``X-Repro-Sha256`` (sha256
+                          hex of the body); 404 when absent
+``PUT /b/<key>``          commit body; ``X-Repro-Op`` selects
+                          ``put_atomic`` vs ``replace``; with
+                          ``If-None-Match: *`` it is ``put_exclusive``
+                          (201 created, 412 when the key exists);
+                          request carries ``X-Repro-Sha256``, the
+                          response echoes the committed ``ETag``
+``DELETE /b/<key>``       idempotent; ``X-Repro-Deleted: 1|0``
+``HEAD /b/<key>``         ``exists``/``stat``: ``X-Repro-Size`` +
+                          ``X-Repro-Mtime``; 404 when absent
+``GET /b?list=1&prefix=`` sorted key list as JSON
+``POST /b/<key>`` +       atomic ``rename`` (the quarantine
+``X-Repro-Rename-To``     primitive); 404 when the source is absent
+========================  =============================================
+
+Integrity is end-to-end: both directions carry ``X-Repro-Sha256`` and
+both sides verify it before trusting a byte — a mismatch (bit rot,
+truncation, a proxy mangling the body) surfaces as
+:class:`~repro.errors.TransientStorageError`, so the retrying wrapper
+re-fetches before the store's quarantine machinery ever escalates.
+``ETag`` *is* the content sha256, which makes ``replace`` a
+write-plus-read-back in one round trip: the response ETag must equal
+the sha of what was sent, or the write is retried (idempotent). The
+lease protocol (:mod:`repro.campaign.leases`) therefore works
+unchanged across hosts: ``put_exclusive`` maps to the conditional PUT,
+steal stays replace-then-read-back.
+
+Consistency assumptions: the service commits through one local driver,
+so reads-after-write and read-your-writes hold (what the lease
+read-back requires). The ``stale_read`` fault kind exists precisely to
+violate that on purpose in tests — it serves the *previous* committed
+state once, emulating an eventually-consistent backend.
+
+Chaos harness: network-class fault kinds
+(:data:`~repro.campaign.faults.NETWORK_KINDS` — ``refuse``,
+``http_error``, ``disconnect``, ``delay``, ``stale_read``) are
+injected *server-side* from the same seeded
+:class:`~repro.campaign.faults.StorageFaultPlan` that drives the
+client-side ``FaultyDriver``; each consumer fires only its own class
+of rules. ``disconnect`` performs the operation and then truncates the
+response mid-body — the client sees a failure for a write that
+*landed*, the eventually-landing-write case the lease read-back
+reconciles.
+
+Circuit breaker (:class:`CircuitBreakerDriver`, stacked under the
+store's ``RetryingDriver``) state machine::
+
+    closed --(failure_threshold consecutive faults)--> open
+    open   --(reset_after_s elapsed)----------------> half-open
+    half-open --probe succeeds--> closed
+    half-open --probe fails-----> open (timer restarts)
+
+While open every call fails fast with :class:`~repro.errors.
+CircuitOpenError` (a :class:`~repro.errors.PersistentStorageError`),
+which the campaign runner's ``allow_partial`` read-only degradation
+path absorbs — a dead endpoint degrades the run instead of hanging it.
+
+Doctest — the contract over a live in-process server:
+
+>>> from repro.campaign.objectstore import HttpDriver, ObjectStoreService
+>>> with ObjectStoreService() as service:
+...     driver = HttpDriver(service.url)
+...     driver.put_atomic("points/a.json", b'{"x": 1}')
+...     driver.get("points/a.json")
+...     driver.put_exclusive("leases/a.lease", b"owner-1")
+...     driver.put_exclusive("leases/a.lease", b"owner-2")
+...     driver.list("points/")
+b'{"x": 1}'
+True
+False
+['points/a.json']
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from http.client import HTTPConnection, HTTPException, HTTPSConnection
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, quote, unquote, urlsplit
+
+from repro.campaign.faults import (
+    NETWORK_KINDS,
+    STORAGE_STALE_OPS,
+    StorageFaultPlan,
+    StorageFaultSelector,
+)
+from repro.campaign.storage import (
+    MemoryDriver,
+    StorageDriver,
+    StorageStat,
+    _check_key,
+)
+from repro.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    PersistentStorageError,
+    StorageMissingError,
+    TransientStorageError,
+)
+
+#: Integrity / protocol headers (both directions where applicable).
+SHA_HEADER = "X-Repro-Sha256"
+OP_HEADER = "X-Repro-Op"
+RENAME_HEADER = "X-Repro-Rename-To"
+SIZE_HEADER = "X-Repro-Size"
+MTIME_HEADER = "X-Repro-Mtime"
+DELETED_HEADER = "X-Repro-Deleted"
+PERSISTENT_HEADER = "X-Repro-Persistent"
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class HttpDriver(StorageDriver):
+    """Remote :class:`~repro.campaign.storage.StorageDriver` over the
+    object-store wire protocol (see the module docstring).
+
+    One short-lived connection per operation: simple, thread-safe, and
+    robust to the server-side disconnect faults the chaos harness
+    injects (a poisoned keep-alive connection can never leak across
+    operations). Transport failures — refused connections, resets,
+    truncated bodies, timeouts, 5xx responses — all surface as
+    :class:`~repro.errors.TransientStorageError` for the retrying
+    wrapper; a ``Retry-After`` header rides along as the error's
+    ``retry_after_s`` hint.
+    """
+
+    name = "http"
+
+    def __init__(self, url: str, timeout_s: float = 10.0) -> None:
+        super().__init__()
+        parts = urlsplit(url)
+        if parts.scheme not in ("http", "https"):
+            raise ConfigurationError(
+                f"HttpDriver needs an http(s)://host[:port]/bucket "
+                f"URL, got {url!r}"
+            )
+        bucket = parts.path.strip("/")
+        if not parts.netloc or not bucket or "/" in bucket:
+            raise ConfigurationError(
+                f"HttpDriver needs exactly one bucket path segment, "
+                f"got {url!r}"
+            )
+        if timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be positive")
+        self._scheme = parts.scheme
+        self._netloc = parts.netloc
+        self._bucket = bucket
+        self._timeout_s = float(timeout_s)
+        self.spec = f"{parts.scheme}://{parts.netloc}/{bucket}"
+        self.name = f"http({parts.netloc}/{bucket})"
+
+    @property
+    def url(self) -> str:
+        return self.spec
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+
+    def _path(self, key: str = "", query: str = "") -> str:
+        path = "/" + quote(self._bucket, safe="")
+        if key:
+            path += "/" + quote(key, safe="/")
+        if query:
+            path += "?" + query
+        return path
+
+    def _request(
+        self,
+        method: str,
+        op: str,
+        key: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        conn_cls = (
+            HTTPSConnection if self._scheme == "https" else HTTPConnection
+        )
+        conn = conn_cls(self._netloc, timeout=self._timeout_s)
+        sent = dict(headers or {})
+        sent[OP_HEADER] = op
+        if body is not None:
+            sent[SHA_HEADER] = _sha256(body)
+        try:
+            conn.request(method, path, body=body, headers=sent)
+            response = conn.getresponse()
+            data = response.read()
+            got = {k.lower(): v for k, v in response.getheaders()}
+        except (HTTPException, OSError) as error:
+            # Refused/reset connections, timeouts, truncated bodies
+            # (IncompleteRead), and torn status lines all land here.
+            self._record(op, error=True)
+            raise TransientStorageError(
+                f"{op}({key!r}) over {self.spec}: "
+                f"{type(error).__name__}: {error}"
+            ) from error
+        finally:
+            conn.close()
+        if response.status >= 500 or response.status == 429:
+            self._record(op, error=True)
+            hint = got.get("retry-after")
+            raise TransientStorageError(
+                f"{op}({key!r}) over {self.spec}: "
+                f"HTTP {response.status} "
+                f"{data[:200].decode('utf-8', 'replace')}",
+                retry_after_s=float(hint) if hint else None,
+            )
+        return response.status, got, data
+
+    def _verify(self, op: str, key: str, data: bytes, claimed: str) -> None:
+        if claimed and _sha256(data) != claimed:
+            self._record(op, error=True)
+            raise TransientStorageError(
+                f"{op}({key!r}): body sha256 disagrees with the "
+                f"{SHA_HEADER} header (corrupt or truncated transfer)"
+            )
+
+    def _unexpected(self, op: str, key: str, status: int, body: bytes):
+        self._record(op, error=True)
+        raise PersistentStorageError(
+            f"{op}({key!r}) over {self.spec}: unexpected HTTP "
+            f"{status} {body[:200].decode('utf-8', 'replace')}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # contract
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: str) -> bytes:
+        _check_key(key)
+        status, headers, data = self._request(
+            "GET", "get", key, self._path(key)
+        )
+        if status == 404:
+            self._record("get", error=True)
+            raise StorageMissingError(f"no value at {key!r}")
+        if status != 200:
+            self._unexpected("get", key, status, data)
+        self._verify("get", key, data, headers.get(SHA_HEADER.lower(), ""))
+        self._record("get", read=len(data))
+        return data
+
+    def _put(self, op: str, key: str, data: bytes) -> None:
+        _check_key(key)
+        status, headers, body = self._request(
+            "PUT", op, key, self._path(key), body=data
+        )
+        if status not in (200, 201):
+            self._unexpected(op, key, status, body)
+        etag = headers.get("etag", "").strip('"')
+        if etag != _sha256(data):
+            # The committed content must be what was sent: ETag is the
+            # write's read-back. A mismatch (or a truncated response
+            # that lost the header) retries the idempotent write.
+            self._record(op, error=True)
+            raise TransientStorageError(
+                f"{op}({key!r}): committed ETag {etag!r} disagrees "
+                f"with the sent payload"
+            )
+        self._record(op, wrote=len(data))
+
+    def put_atomic(self, key: str, data: bytes) -> None:
+        self._put("put_atomic", key, data)
+
+    def replace(self, key: str, data: bytes) -> None:
+        self._put("replace", key, data)
+
+    def put_exclusive(self, key: str, data: bytes) -> bool:
+        _check_key(key)
+        status, headers, body = self._request(
+            "PUT",
+            "put_exclusive",
+            key,
+            self._path(key),
+            body=data,
+            headers={"If-None-Match": "*"},
+        )
+        if status == 412:
+            self._record("put_exclusive")
+            return False
+        if status != 201:
+            self._unexpected("put_exclusive", key, status, body)
+        etag = headers.get("etag", "").strip('"')
+        if etag != _sha256(data):
+            self._record("put_exclusive", error=True)
+            raise TransientStorageError(
+                f"put_exclusive({key!r}): committed ETag disagrees "
+                f"with the sent payload"
+            )
+        self._record("put_exclusive", wrote=len(data))
+        return True
+
+    def delete(self, key: str) -> bool:
+        _check_key(key)
+        status, headers, body = self._request(
+            "DELETE", "delete", key, self._path(key)
+        )
+        self._record("delete")
+        if status != 200:
+            self._unexpected("delete", key, status, body)
+        return headers.get(DELETED_HEADER.lower()) == "1"
+
+    def list(self, prefix: str = "") -> List[str]:
+        self._record("list")
+        status, headers, data = self._request(
+            "GET",
+            "list",
+            prefix,
+            self._path(query=f"list=1&prefix={quote(prefix, safe='')}"),
+        )
+        if status != 200:
+            self._unexpected("list", prefix, status, data)
+        self._verify("list", prefix, data, headers.get(SHA_HEADER.lower(), ""))
+        try:
+            keys = json.loads(data.decode("utf-8"))
+        except ValueError as error:
+            raise TransientStorageError(
+                f"list({prefix!r}): undecodable listing body"
+            ) from error
+        return list(keys)
+
+    def exists(self, key: str) -> bool:
+        _check_key(key)
+        self._record("exists")
+        status, _, _ = self._request(
+            "HEAD", "exists", key, self._path(key)
+        )
+        if status == 200:
+            return True
+        if status == 404:
+            return False
+        self._unexpected("exists", key, status, b"")
+
+    def stat(self, key: str) -> StorageStat:
+        _check_key(key)
+        self._record("stat")
+        status, headers, _ = self._request(
+            "HEAD", "stat", key, self._path(key)
+        )
+        if status == 404:
+            raise StorageMissingError(f"no value at {key!r}")
+        if status != 200:
+            self._unexpected("stat", key, status, b"")
+        try:
+            return StorageStat(
+                size=int(headers[SIZE_HEADER.lower()]),
+                mtime=float(headers[MTIME_HEADER.lower()]),
+            )
+        except (KeyError, ValueError) as error:
+            raise TransientStorageError(
+                f"stat({key!r}): malformed stat headers"
+            ) from error
+
+    def rename(self, key: str, new_key: str) -> None:
+        _check_key(key)
+        _check_key(new_key)
+        self._record("rename")
+        status, _, body = self._request(
+            "POST",
+            "rename",
+            key,
+            self._path(key),
+            body=b"",
+            headers={RENAME_HEADER: quote(new_key, safe="/")},
+        )
+        if status == 404:
+            raise StorageMissingError(f"no value at {key!r}")
+        if status != 200:
+            self._unexpected("rename", key, status, body)
+
+
+class CircuitBreakerDriver(StorageDriver):
+    """Fail-fast wrapper tripping persistent network failure into the
+    runner's read-only degradation path (state machine in the module
+    docstring).
+
+    Counts *consecutive* failed operations (missing keys and lost
+    exclusive claims are answers, not failures); at
+    ``failure_threshold`` the breaker opens and every call raises
+    :class:`~repro.errors.CircuitOpenError` without touching the wire.
+    After ``reset_after_s`` one half-open probe is let through — its
+    success closes the breaker, its failure reopens it. Stacked as
+    ``RetryingDriver(CircuitBreakerDriver(HttpDriver))`` (what
+    ``build_driver("http://...")`` plus the store's auto-wrap
+    produces), so bounded retries run above and fail-fast below.
+    """
+
+    def __init__(
+        self,
+        inner: StorageDriver,
+        failure_threshold: int = 5,
+        reset_after_s: float = 30.0,
+    ) -> None:
+        super().__init__()
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be >= 1")
+        if reset_after_s < 0:
+            raise ConfigurationError("reset_after_s must be >= 0")
+        self._inner = inner
+        self._threshold = int(failure_threshold)
+        self._reset_after_s = float(reset_after_s)
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self._n_trips = 0
+        self._n_short_circuited = 0
+        self.name = f"breaker({inner.name})"
+        spec = getattr(inner, "spec", None)
+        if spec is not None:
+            self.spec = spec
+
+    @property
+    def inner(self) -> StorageDriver:
+        return self._inner
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        # Caller holds the lock.
+        if (
+            self._state == "open"
+            and time.monotonic() - self._opened_at >= self._reset_after_s
+        ):
+            self._state = "half-open"
+            self._probe_in_flight = False
+
+    def _admit(self, op: str, key: str) -> bool:
+        """Admit the call, or raise CircuitOpenError. Returns whether
+        this call is the half-open probe."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == "closed":
+                return False
+            if self._state == "half-open" and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            self._n_short_circuited += 1
+            remaining = max(
+                0.0,
+                self._reset_after_s
+                - (time.monotonic() - self._opened_at),
+            )
+            raise CircuitOpenError(
+                f"circuit open for {self._inner.name}: {op}({key!r}) "
+                f"failed fast ({self._consecutive_failures} consecutive "
+                f"failures; next probe in {remaining:.1f}s)"
+            )
+
+    def _on_success(self, probe: bool) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if probe or self._state != "open":
+                self._state = "closed"
+            self._probe_in_flight = False
+
+    def _on_failure(self, probe: bool) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            tripped = (
+                probe
+                or (
+                    self._state == "closed"
+                    and self._consecutive_failures >= self._threshold
+                )
+            )
+            if tripped:
+                self._state = "open"
+                self._opened_at = time.monotonic()
+                self._n_trips += 1
+            self._probe_in_flight = False
+
+    def _guard(self, op: str, key: str, fn):
+        probe = self._admit(op, key)
+        try:
+            result = fn()
+        except StorageMissingError:
+            self._on_success(probe)  # the backend answered
+            raise
+        except (TransientStorageError, PersistentStorageError):
+            self._on_failure(probe)
+            raise
+        self._on_success(probe)
+        return result
+
+    def get(self, key: str) -> bytes:
+        return self._guard("get", key, lambda: self._inner.get(key))
+
+    def put_atomic(self, key: str, data: bytes) -> None:
+        return self._guard(
+            "put_atomic", key, lambda: self._inner.put_atomic(key, data)
+        )
+
+    def put_exclusive(self, key: str, data: bytes) -> bool:
+        return self._guard(
+            "put_exclusive",
+            key,
+            lambda: self._inner.put_exclusive(key, data),
+        )
+
+    def replace(self, key: str, data: bytes) -> None:
+        return self._guard(
+            "replace", key, lambda: self._inner.replace(key, data)
+        )
+
+    def delete(self, key: str) -> bool:
+        return self._guard("delete", key, lambda: self._inner.delete(key))
+
+    def list(self, prefix: str = "") -> List[str]:
+        return self._guard(
+            "list", prefix, lambda: self._inner.list(prefix)
+        )
+
+    def exists(self, key: str) -> bool:
+        return self._guard(
+            "exists", key, lambda: self._inner.exists(key)
+        )
+
+    def stat(self, key: str) -> StorageStat:
+        return self._guard("stat", key, lambda: self._inner.stat(key))
+
+    def rename(self, key: str, new_key: str) -> None:
+        return self._guard(
+            "rename", key, lambda: self._inner.rename(key, new_key)
+        )
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            self._maybe_half_open()
+            own = {
+                "driver": self.name,
+                "state": self._state,
+                "n_trips": self._n_trips,
+                "n_short_circuited": self._n_short_circuited,
+            }
+        own["inner"] = self._inner.stats()
+        return own
+
+
+# ---------------------------------------------------------------------- #
+# server
+# ---------------------------------------------------------------------- #
+
+
+class _ObjectStoreHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    service: "ObjectStoreService"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-objectstore/1"
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+
+    @property
+    def service(self) -> "ObjectStoreService":
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        self.service.log_lines.append(format % args)
+
+    def _send(
+        self,
+        status: int,
+        body: bytes = b"",
+        headers: Optional[Dict[str, str]] = None,
+        truncate: bool = False,
+    ) -> None:
+        self.send_response(status)
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if self.command == "HEAD":
+            return
+        if truncate:
+            # Mid-body disconnect: declared Content-Length exceeds
+            # what lands, so the client's read raises IncompleteRead.
+            self.wfile.write(body[: len(body) // 2])
+            self.wfile.flush()
+            self.close_connection = True
+            try:
+                self.connection.shutdown(2)  # SHUT_RDWR
+            except OSError:
+                pass
+            return
+        if body:
+            self.wfile.write(body)
+
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        headers: Optional[Dict[str, str]] = None,
+        truncate: bool = False,
+    ) -> None:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        self._send(status, body, headers, truncate=truncate)
+
+    def _parse(self) -> Optional[Tuple[str, str, Dict[str, List[str]]]]:
+        """(key, op, query) for this request, or None after a 404/400."""
+        parts = urlsplit(self.path)
+        segments = parts.path.lstrip("/").split("/", 1)
+        if unquote(segments[0]) != self.service.bucket:
+            self._send_json(404, {"error": "unknown bucket"})
+            return None
+        key = unquote(segments[1]) if len(segments) > 1 else ""
+        query = parse_qs(parts.query)
+        op = self.headers.get(OP_HEADER, "") or self._default_op(key, query)
+        return key, op, query
+
+    def _default_op(self, key: str, query: Dict[str, List[str]]) -> str:
+        return {
+            "GET": "list" if (not key or "list" in query) else "get",
+            "HEAD": "stat",
+            "PUT": (
+                "put_exclusive"
+                if self.headers.get("If-None-Match") == "*"
+                else "put_atomic"
+            ),
+            "DELETE": "delete",
+            "POST": "rename",
+        }.get(self.command, "get")
+
+    def _read_body(self) -> Optional[bytes]:
+        """Request body verified against its integrity header, or
+        ``None`` after responding 400/422 (nothing was committed)."""
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        body = self.rfile.read(length) if length else b""
+        claimed = self.headers.get(SHA_HEADER, "")
+        if len(body) != length or (claimed and _sha256(body) != claimed):
+            self._send_json(
+                422, {"error": "body integrity check failed"}
+            )
+            return None
+        return body
+
+    # ------------------------------------------------------------------ #
+    # fault injection
+    # ------------------------------------------------------------------ #
+
+    def _consult_fault(self, op: str, key: str):
+        """The network fault rule firing on this request, if any."""
+        selector = self.service.selector
+        if selector is None:
+            return None
+        return selector.consult(op, key)
+
+    def _apply_pre_fault(self, rule, op: str, key: str) -> str:
+        """Apply a fault that acts before/instead of the operation.
+
+        Returns ``"handled"`` when a response (or deliberate silence)
+        was already produced, ``"truncate"`` when the operation should
+        proceed but its response must be cut mid-body, ``"stale"``
+        when a read should serve the previous committed state, and
+        ``"proceed"`` otherwise.
+        """
+        if rule is None:
+            return "proceed"
+        if rule.kind == "refuse":
+            # Drop the connection before any response bytes: the
+            # client sees a reset/torn status line.
+            self.close_connection = True
+            try:
+                self.connection.shutdown(2)
+            except OSError:
+                pass
+            return "handled"
+        if rule.kind == "http_error":
+            headers = {}
+            if rule.retry_after_s is not None:
+                headers["Retry-After"] = f"{rule.retry_after_s:g}"
+            self._send_json(
+                rule.status,
+                {"error": f"injected HTTP {rule.status}"},
+                headers,
+            )
+            return "handled"
+        if rule.kind == "delay":
+            time.sleep(rule.hang_s)
+            return "proceed"
+        if rule.kind == "disconnect":
+            return "truncate"
+        if rule.kind == "stale_read" and op in STORAGE_STALE_OPS:
+            return "stale"
+        return "proceed"
+
+    # ------------------------------------------------------------------ #
+    # operations
+    # ------------------------------------------------------------------ #
+
+    def _handle(self) -> None:
+        # One request per connection both sides (the driver opens a
+        # fresh connection per op): never reuse a socket that may hold
+        # an undrained request body or a truncated response.
+        self.close_connection = True
+        parsed = self._parse()
+        if parsed is None:
+            return
+        key, op, query = parsed
+        rule = self._consult_fault(op, key)
+        action = self._apply_pre_fault(rule, op, key)
+        if action == "handled":
+            return
+        truncate = action == "truncate"
+        stale = action == "stale"
+        try:
+            if op == "list":
+                prefix = (query.get("prefix") or [""])[0]
+                keys = self.service.driver.list(unquote(prefix))
+                body = json.dumps(keys).encode("utf-8")
+                self._send(
+                    200,
+                    body,
+                    {SHA_HEADER: _sha256(body)},
+                    truncate=truncate,
+                )
+            elif op == "get":
+                data = self.service.read_for(key, stale=stale)
+                sha = _sha256(data)
+                self._send(
+                    200,
+                    data,
+                    {SHA_HEADER: sha, "ETag": f'"{sha}"'},
+                    truncate=truncate,
+                )
+            elif op in ("exists", "stat"):
+                if stale:
+                    # Serve the historical view: size from the
+                    # recorded bytes, mtime approximate (an emulation
+                    # knob, not a durability promise).
+                    data = self.service.read_for(key, stale=True)
+                    size, mtime = len(data), time.time()
+                else:
+                    stat = self.service.driver.stat(key)
+                    size, mtime = stat.size, stat.mtime
+                self._send(
+                    200,
+                    b"",
+                    {
+                        SIZE_HEADER: str(size),
+                        MTIME_HEADER: f"{mtime!r}",
+                    },
+                )
+            elif op in ("put_atomic", "replace", "put_exclusive"):
+                body = self._read_body()
+                if body is None:
+                    return
+                self.service.note_write(key)
+                if op == "put_exclusive":
+                    created = self.service.driver.put_exclusive(key, body)
+                    if not created:
+                        self._send_json(
+                            412, {"error": "key exists"}, truncate=truncate
+                        )
+                        return
+                elif op == "replace":
+                    self.service.driver.replace(key, body)
+                else:
+                    self.service.driver.put_atomic(key, body)
+                sha = _sha256(body)
+                self._send_json(
+                    201 if op == "put_exclusive" else 200,
+                    {"ok": True},
+                    {"ETag": f'"{sha}"', SHA_HEADER: sha},
+                    truncate=truncate,
+                )
+            elif op == "delete":
+                self.service.note_write(key)
+                removed = self.service.driver.delete(key)
+                self._send_json(
+                    200,
+                    {"ok": True},
+                    {DELETED_HEADER: "1" if removed else "0"},
+                    truncate=truncate,
+                )
+            elif op == "rename":
+                new_key = unquote(self.headers.get(RENAME_HEADER, ""))
+                if not new_key:
+                    self._send_json(
+                        400, {"error": f"missing {RENAME_HEADER}"}
+                    )
+                    return
+                self.service.note_write(key)
+                self.service.note_write(new_key)
+                self.service.driver.rename(key, new_key)
+                self._send_json(200, {"ok": True}, truncate=truncate)
+            else:
+                self._send_json(400, {"error": f"unknown op {op!r}"})
+        except StorageMissingError:
+            self._send_json(404, {"error": f"no value at {key!r}"})
+        except ConfigurationError as error:
+            self._send_json(400, {"error": str(error)})
+        except TransientStorageError as error:
+            self._send_json(503, {"error": str(error)})
+        except PersistentStorageError as error:
+            self._send_json(
+                500, {"error": str(error)}, {PERSISTENT_HEADER: "1"}
+            )
+
+    do_GET = _handle
+    do_HEAD = _handle
+    do_PUT = _handle
+    do_DELETE = _handle
+    do_POST = _handle
+
+
+class ObjectStoreService:
+    """Hermetic HTTP object-store service over a local driver.
+
+    In-process for tests (``with ObjectStoreService() as service:``) and
+    behind ``python -m repro.campaign serve`` for real deployments. The
+    backing ``driver`` defaults to a fresh
+    :class:`~repro.campaign.storage.MemoryDriver`; hand it a
+    ``PosixDriver`` for a durable store. ``fault_plan``'s network-class
+    rules are injected server-side (see the module docstring).
+    """
+
+    def __init__(
+        self,
+        driver: Optional[StorageDriver] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        bucket: str = "campaign",
+        fault_plan: Optional[StorageFaultPlan] = None,
+    ) -> None:
+        if "/" in bucket or not bucket:
+            raise ConfigurationError(
+                f"bucket must be one path segment, got {bucket!r}"
+            )
+        self.driver = driver if driver is not None else MemoryDriver()
+        self.bucket = bucket
+        self._host = host
+        self._port = int(port)
+        self.selector = (
+            StorageFaultSelector(fault_plan, kinds=NETWORK_KINDS)
+            if fault_plan is not None and fault_plan.rules
+            else None
+        )
+        self._track_stale = bool(
+            fault_plan is not None and fault_plan.has_kind("stale_read")
+        )
+        self._history: Dict[str, bytes] = {}
+        self._history_lock = threading.Lock()
+        self.log_lines: List[str] = []
+        self._server: Optional[_ObjectStoreHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    # stale-read history (one-deep, recorded only when a plan wants it)
+    # ------------------------------------------------------------------ #
+
+    def note_write(self, key: str) -> None:
+        """Record the pre-write committed state of ``key`` so a
+        ``stale_read`` fault can serve it later."""
+        if not self._track_stale:
+            return
+        with self._history_lock:
+            try:
+                self._history[key] = self.driver.get(key)
+            except StorageMissingError:
+                self._history.pop(key, None)
+
+    def read_for(self, key: str, stale: bool = False) -> bytes:
+        """Committed bytes at ``key`` — or, under a ``stale_read``
+        fault, the previous committed state (absence raises, emulating
+        a not-yet-visible write)."""
+        if stale:
+            with self._history_lock:
+                if key in self._history:
+                    return self._history[key]
+            # No recorded history: the key predates tracking, so the
+            # current state *is* the stale view — unless it was never
+            # written through this server, in which case a fresh write
+            # is simply not visible yet.
+            raise StorageMissingError(
+                f"stale read: {key!r} not yet visible"
+            )
+        return self.driver.get(key)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def url(self) -> str:
+        """Driver-ready spec: ``http://host:port/bucket``."""
+        if self._server is None:
+            raise RuntimeError("service not started")
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}/{self.bucket}"
+
+    def start(self) -> "ObjectStoreService":
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self._server = _ObjectStoreHTTPServer(
+            (self._host, self._port), _Handler
+        )
+        self._server.service = self
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-objectstore",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    def serve_forever(self) -> None:
+        """Blocking serve loop for ``python -m repro.campaign serve``."""
+        if self._server is None:
+            self._server = _ObjectStoreHTTPServer(
+                (self._host, self._port), _Handler
+            )
+            self._server.service = self
+        self._server.serve_forever(poll_interval=0.2)
+
+    def __enter__(self) -> "ObjectStoreService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+__all__ = [
+    "CircuitBreakerDriver",
+    "HttpDriver",
+    "ObjectStoreService",
+]

@@ -404,8 +404,13 @@ class CampaignRunner:
 
         pending: List[int] = []
         for index, point in enumerate(points):
-            if self._store_has(point):
-                outcome[index] = self._cached_result(point)
+            cached = (
+                self._cached_result(point)
+                if self._store_has(point)
+                else None
+            )
+            if cached is not None:
+                outcome[index] = cached
             else:
                 pending.append(index)
 
@@ -472,8 +477,18 @@ class CampaignRunner:
             storage_degraded=self._storage_degraded,
         )
 
-    def _cached_result(self, point: CampaignPoint) -> CampaignPointResult:
-        payload = self._store.load(point)
+    def _cached_result(
+        self, point: CampaignPoint
+    ) -> Optional[CampaignPointResult]:
+        """Load a stored point, or ``None`` when persistent storage
+        failure degrades the run mid-read (circuit open, retry budget
+        spent) — the caller then recomputes the point instead of
+        crashing a partial run."""
+        try:
+            payload = self._store.load(point)
+        except PersistentStorageError as error:
+            self._degrade(error)
+            return None
         return CampaignPointResult(
             point=point,
             metrics=NetworkMetrics(**payload["metrics"]),
@@ -654,9 +669,11 @@ class CampaignRunner:
             for index in pending:
                 point, content_hash = points[index], hashes[index]
                 if self._store_has(point):
-                    outcome[index] = self._cached_result(point)
-                    progressed = True
-                    continue
+                    cached = self._cached_result(point)
+                    if cached is not None:
+                        outcome[index] = cached
+                        progressed = True
+                        continue
                 # Degraded storage bypasses leases: claims go through
                 # the same failing driver, so waiting on them would
                 # never terminate — recomputation is safe (idempotent
@@ -675,10 +692,12 @@ class CampaignRunner:
                     # can save and release. Re-check under the lease
                     # so the point is never computed twice.
                     if self._store_has(point):
-                        leases.release(content_hash)
-                        outcome[index] = self._cached_result(point)
-                        progressed = True
-                        continue
+                        cached = self._cached_result(point)
+                        if cached is not None:
+                            leases.release(content_hash)
+                            outcome[index] = cached
+                            progressed = True
+                            continue
                 start_attempt = attempts_done.get(index, 0) + 1
                 try:
                     (

@@ -85,11 +85,13 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from pathlib import Path, PurePosixPath
 from typing import Dict, List, Optional
+from urllib.parse import urlsplit
 
 from repro.campaign.faults import (
+    STORAGE_KINDS,
     STORAGE_WRITE_OPS,
     StorageFaultPlan,
-    StorageFaultRule,
+    StorageFaultSelector,
 )
 from repro.errors import (
     ConfigurationError,
@@ -234,6 +236,11 @@ class PosixDriver(StorageDriver):
     @property
     def root(self) -> Path:
         return self._root
+
+    @property
+    def spec(self) -> str:
+        """URL spec reproducing this driver via :func:`build_driver`."""
+        return f"posix://{self._root.resolve()}"
 
     def _path(self, key: str) -> Path:
         return self._root / PurePosixPath(_check_key(key))
@@ -406,6 +413,7 @@ class MemoryDriver(StorageDriver):
     """
 
     name = "memory"
+    spec = "memory://"
 
     def __init__(self) -> None:
         super().__init__()
@@ -553,9 +561,12 @@ class FaultyDriver(StorageDriver):
       simulating an *undetected* torn write on a non-atomic backend
       that the store's integrity verification must catch later.
 
-    Call counting is per rule within this driver instance, so
+    Call counting is per rule within this driver instance (via the
+    shared :class:`~repro.campaign.faults.StorageFaultSelector`), so
     injection is reproducible for a given operation sequence without
-    shared mutable state.
+    shared mutable state. Network-class rules in the plan are for the
+    object-store *service* to consume — this driver skips them without
+    advancing their counters.
     """
 
     def __init__(
@@ -568,10 +579,7 @@ class FaultyDriver(StorageDriver):
             plan = StorageFaultPlan.from_env() or StorageFaultPlan()
         self._inner = inner
         self._plan = plan
-        self._lock = threading.Lock()
-        self._seen: Dict[int, int] = {}
-        self._fired: Dict[int, int] = {}
-        self._n_injected = 0
+        self._selector = StorageFaultSelector(plan, kinds=STORAGE_KINDS)
         self.name = f"faulty({inner.name})"
 
     @property
@@ -580,36 +588,10 @@ class FaultyDriver(StorageDriver):
 
     @property
     def n_injected(self) -> int:
-        with self._lock:
-            return self._n_injected
-
-    def _consult(self, op: str, key: str) -> Optional[StorageFaultRule]:
-        """First rule firing on this call, advancing per-rule counters."""
-        with self._lock:
-            chosen = None
-            for index, rule in enumerate(self._plan.rules):
-                if not rule.selects(op, key):
-                    continue
-                self._seen[index] = n = self._seen.get(index, 0) + 1
-                if chosen is not None:
-                    continue  # still count later rules' matches
-                if (
-                    rule.max_fires is not None
-                    and self._fired.get(index, 0) >= rule.max_fires
-                ):
-                    continue
-                if rule.calls is not None:
-                    fires = n in rule.calls
-                else:
-                    fires = self._plan.unit(op, key, n) < float(rule.p)
-                if fires:
-                    self._fired[index] = self._fired.get(index, 0) + 1
-                    self._n_injected += 1
-                    chosen = rule
-            return chosen
+        return self._selector.n_injected
 
     def _apply(self, op: str, key: str, fn, data: Optional[bytes] = None):
-        rule = self._consult(op, key)
+        rule = self._selector.consult(op, key)
         if rule is None:
             return fn()
         if rule.kind == "hang":
@@ -688,10 +670,14 @@ class FaultyDriver(StorageDriver):
         )
 
     def stats(self) -> Dict[str, object]:
-        merged = dict(self._inner.stats())
-        merged["driver"] = self.name
-        merged["n_injected_faults"] = self.n_injected
-        return merged
+        # Wrapper stats nest rather than merge: a stacked
+        # retrying(faulty(posix)) reports every layer without key
+        # collisions (see also RetryingDriver.stats).
+        return {
+            "driver": self.name,
+            "n_injected_faults": self.n_injected,
+            "inner": self._inner.stats(),
+        }
 
 
 @dataclass(frozen=True)
@@ -822,6 +808,15 @@ class RetryingDriver(StorageDriver):
                         f"{attempt} attempts: {error}"
                     ) from error
                 backoff = self._policy.backoff_s(op, key, attempt)
+                hint = getattr(error, "retry_after_s", None)
+                if hint is not None:
+                    # A backend-provided Retry-After hint: retrying
+                    # sooner is pointless, but never exceed the
+                    # policy's configured ceiling.
+                    backoff = max(
+                        backoff,
+                        min(float(hint), self._policy.max_delay_s),
+                    )
                 log.debug(
                     "transient storage fault on %s(%r) attempt %d "
                     "(%s); retrying in %.3fs",
@@ -878,45 +873,146 @@ class RetryingDriver(StorageDriver):
         )
 
     def stats(self) -> Dict[str, object]:
-        merged = dict(self._inner.stats())
-        merged["driver"] = self.name
-        merged["n_retries"] = self.n_retries
-        return merged
+        # Nested, not merged: wrapper layers each contribute their own
+        # counters under "inner" so stacking never collides keys.
+        return {
+            "driver": self.name,
+            "n_retries": self.n_retries,
+            "inner": self._inner.stats(),
+        }
 
 
-#: CLI driver-name registry (``--storage-driver``).
+#: CLI driver-name registry (``--storage-driver``). URL-style specs
+#: (``posix:///path``, ``memory://``, ``http://host:port/bucket``) are
+#: additionally accepted by :func:`build_driver`.
 DRIVER_NAMES = ("posix", "memory", "faulty")
+
+#: URL schemes :func:`parse_driver_spec` understands.
+DRIVER_SCHEMES = ("posix", "memory", "http", "https")
+
+
+def parse_driver_spec(spec: str) -> Dict[str, object]:
+    """Parse a ``--storage-driver`` value into its constituent parts.
+
+    Accepts the legacy bare names (``posix``/``memory``/``faulty``) and
+    URL-style specs:
+
+    * ``posix:///abs/path`` — posix driver rooted at ``/abs/path``
+      (overrides the store path for driver state);
+    * ``memory://`` — hermetic in-process driver;
+    * ``http://host:port/bucket`` — remote object-store driver
+      talking to ``python -m repro.campaign serve``.
+
+    Returns a dict with ``scheme`` plus scheme-specific fields
+    (``root`` for posix, ``url`` for http). Round-trips: feeding a
+    driver's ``spec`` attribute back through here reproduces the same
+    configuration.
+
+    >>> parse_driver_spec("memory://")["scheme"]
+    'memory'
+    >>> parse_driver_spec("posix:///tmp/store")["root"]
+    '/tmp/store'
+    >>> parse_driver_spec("http://127.0.0.1:8123/campaign")["url"]
+    'http://127.0.0.1:8123/campaign'
+    >>> parse_driver_spec("posix")["scheme"]
+    'posix'
+    """
+    if "://" not in spec:
+        if spec not in DRIVER_NAMES:
+            raise ConfigurationError(
+                f"unknown storage driver {spec!r}; pick one of "
+                f"{DRIVER_NAMES} or a URL spec "
+                f"({'|'.join(DRIVER_SCHEMES)}://...)"
+            )
+        return {"scheme": spec}
+    parts = urlsplit(spec)
+    scheme = parts.scheme.lower()
+    if scheme not in DRIVER_SCHEMES:
+        raise ConfigurationError(
+            f"unknown storage driver scheme {scheme!r} in {spec!r}; "
+            f"supported schemes: {DRIVER_SCHEMES}"
+        )
+    if scheme == "memory":
+        if parts.netloc or parts.path.strip("/"):
+            raise ConfigurationError(
+                f"memory:// takes no host or path, got {spec!r}"
+            )
+        return {"scheme": "memory"}
+    if scheme == "posix":
+        if parts.netloc:
+            raise ConfigurationError(
+                f"posix:// is local-only (use posix:///path), got {spec!r}"
+            )
+        if not parts.path:
+            raise ConfigurationError(f"posix:// needs a path, got {spec!r}")
+        return {"scheme": "posix", "root": parts.path}
+    # http / https: host plus a single-segment bucket path.
+    if not parts.netloc:
+        raise ConfigurationError(
+            f"{scheme}:// needs host[:port]/bucket, got {spec!r}"
+        )
+    bucket = parts.path.strip("/")
+    if not bucket or "/" in bucket:
+        raise ConfigurationError(
+            f"{scheme}:// needs exactly one bucket path segment, "
+            f"got {spec!r}"
+        )
+    return {
+        "scheme": scheme,
+        "url": f"{scheme}://{parts.netloc}/{bucket}",
+        "netloc": parts.netloc,
+        "bucket": bucket,
+    }
 
 
 def build_driver(
     name: str,
-    root,
+    root=None,
     storage_fault_plan: Optional[StorageFaultPlan] = None,
     fsync: bool = True,
 ) -> StorageDriver:
-    """Construct a named driver for ``--storage-driver``.
+    """Construct a driver from a ``--storage-driver`` spec.
 
-    ``"faulty"`` wraps posix with the given (or ambient
-    ``REPRO_STORAGE_FAULT_PLAN``) fault plan; passing a plan with any
-    other name also wraps, so ``--storage-fault-plan`` alone implies
-    injection.
+    ``name`` is a legacy bare name from :data:`DRIVER_NAMES` or a
+    URL-style spec (see :func:`parse_driver_spec`). ``"faulty"`` wraps
+    posix with the given (or ambient ``REPRO_STORAGE_FAULT_PLAN``)
+    fault plan; passing a plan with any other spec also wraps, so
+    ``--storage-fault-plan`` alone implies client-side injection.
+    ``http(s)://`` specs come wrapped in the circuit breaker
+    (:class:`~repro.campaign.objectstore.CircuitBreakerDriver`) so
+    persistent network failure degrades instead of wedging. ``root``
+    backs posix-rooted specs and may be omitted for rootless ones
+    (``memory://``, ``http(s)://``, ``posix:///path``).
     """
-    if name not in DRIVER_NAMES:
-        raise ConfigurationError(
-            f"unknown storage driver {name!r}; pick one of {DRIVER_NAMES}"
-        )
+    parsed = parse_driver_spec(name)
+    scheme = parsed["scheme"]
     base: StorageDriver
-    if name == "memory":
+    if scheme == "memory":
         base = MemoryDriver()
+    elif scheme in ("http", "https"):
+        # Imported lazily: objectstore builds on this module.
+        from repro.campaign.objectstore import (
+            CircuitBreakerDriver,
+            HttpDriver,
+        )
+
+        base = CircuitBreakerDriver(HttpDriver(parsed["url"]))
     else:
-        base = PosixDriver(root, fsync=fsync)
-    if name == "faulty" or storage_fault_plan is not None:
+        posix_root = parsed.get("root", root)
+        if posix_root is None:
+            raise ConfigurationError(
+                f"driver spec {name!r} needs a store root "
+                f"(a directory, or a posix:///path spec)"
+            )
+        base = PosixDriver(posix_root, fsync=fsync)
+    if scheme == "faulty" or storage_fault_plan is not None:
         base = FaultyDriver(base, storage_fault_plan)
     return base
 
 
 __all__ = [
     "DRIVER_NAMES",
+    "DRIVER_SCHEMES",
     "FaultyDriver",
     "MemoryDriver",
     "PosixDriver",
@@ -926,4 +1022,5 @@ __all__ = [
     "StorageRetryPolicy",
     "StorageStat",
     "build_driver",
+    "parse_driver_spec",
 ]

@@ -71,13 +71,30 @@ class StorageMissingError(StorageError):
 class TransientStorageError(StorageError):
     """A storage operation failed in a way that may succeed on retry
     (I/O hiccup, timeout, torn write detected mid-operation). The
-    retrying driver wrapper absorbs these with bounded backoff."""
+    retrying driver wrapper absorbs these with bounded backoff.
+
+    ``retry_after_s``, when not ``None``, is a backend-provided hint
+    (an HTTP ``Retry-After`` header, say) that retrying sooner is
+    pointless; the retrying wrapper stretches its backoff to honour
+    it."""
+
+    def __init__(self, *args, retry_after_s=None):
+        super().__init__(*args)
+        self.retry_after_s = retry_after_s
 
 
 class PersistentStorageError(StorageError):
     """A storage operation failed permanently (retry budget exhausted,
     or the backend reported a non-recoverable condition). The campaign
     runner degrades to read-only serving when writes reach this."""
+
+
+class CircuitOpenError(PersistentStorageError):
+    """The client-side circuit breaker is open: the remote store has
+    failed persistently enough that further calls fail fast instead of
+    hammering a dead endpoint. Subclasses PersistentStorageError, so
+    the campaign runner's read-only degradation path applies
+    unchanged."""
 
 
 class PointTimeoutError(CampaignError):

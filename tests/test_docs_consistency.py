@@ -35,6 +35,7 @@ DOCUMENTED_MODULES = [
     "repro.campaign.faults",
     "repro.campaign.runner",
     "repro.campaign.storage",
+    "repro.campaign.objectstore",
 ]
 
 #: Load-bearing anchors per documentation file: strings that must keep
@@ -74,6 +75,12 @@ DOC_ANCHORS = {
         "REPRO_STORAGE_FAULT_PLAN",
         "PersistentStorageError",
         "read-only serving",
+        "python -m repro.campaign serve",
+        "http://host:port/bucket",
+        "X-Repro-Sha256",
+        "If-None-Match: *",
+        "CircuitOpenError",
+        "half-open",
     ],
     "README.md": [
         "docs/PERFORMANCE.md",
@@ -86,6 +93,9 @@ DOC_ANCHORS = {
         "timeout-minutes",
         "--storage-driver",
         "REPRO_STORAGE_FAULT_PLAN",
+        "repro.campaign serve",
+        "http://hostA:8123/campaign",
+        "network-chaos",
     ],
 }
 
@@ -108,6 +118,9 @@ class TestCiPipeline:
             "storage-fault",
             "--storage-fault-plan",
             "status --json",
+            "network-chaos",
+            "repro.campaign serve",
+            "--storage-driver http://",
         ):
             assert anchor in text, f"ci.yml lost {anchor!r}"
 

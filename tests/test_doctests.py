@@ -11,6 +11,7 @@ import doctest
 import pytest
 
 import repro.campaign.faults
+import repro.campaign.objectstore
 import repro.campaign.runner
 import repro.campaign.spec
 import repro.campaign.storage
@@ -32,6 +33,7 @@ MODULES_WITH_DOCTESTS = [
     repro.campaign.storage,
     repro.campaign.faults,
     repro.campaign.runner,
+    repro.campaign.objectstore,
 ]
 
 

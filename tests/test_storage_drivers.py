@@ -91,8 +91,24 @@ def make_driver(kind, tmp_path):
     return MemoryDriver()
 
 
-@pytest.fixture(params=["posix", "memory"])
+@pytest.fixture(params=["posix", "memory", "http", "prefix-http"])
 def driver(request, tmp_path):
+    """Every backend through the same contract suite — the remote
+    driver (bare and under a ``PrefixDriver``, the lease protocol's
+    view of it) rides along against a per-test in-process server."""
+    if request.param in ("http", "prefix-http"):
+        from repro.campaign.objectstore import (
+            HttpDriver,
+            ObjectStoreService,
+        )
+
+        service = ObjectStoreService()
+        service.start()
+        request.addfinalizer(service.stop)
+        http_driver = HttpDriver(service.url, timeout_s=5.0)
+        if request.param == "prefix-http":
+            return PrefixDriver(http_driver, "scoped/")
+        return http_driver
     return make_driver(request.param, tmp_path)
 
 
@@ -479,6 +495,66 @@ class TestBuildDriver:
         with pytest.raises(ConfigurationError):
             build_driver("s3", tmp_path)
 
+    def test_url_specs_parse_and_round_trip(self, tmp_path):
+        from repro.campaign.storage import parse_driver_spec
+
+        posix = build_driver(f"posix://{tmp_path / 'via-url'}", None)
+        assert isinstance(posix, PosixDriver)
+        assert posix.root == tmp_path / "via-url"
+        # spec -> build_driver -> .spec is a fixed point.
+        again = build_driver(posix.spec, None)
+        assert again.root == posix.root and again.spec == posix.spec
+
+        memory = build_driver("memory://", tmp_path)
+        assert isinstance(memory, MemoryDriver)
+        assert memory.spec == "memory://"
+        assert parse_driver_spec(memory.spec) == {"scheme": "memory"}
+
+        parsed = parse_driver_spec("http://127.0.0.1:8123/campaign")
+        assert parsed["scheme"] == "http"
+        assert parsed["bucket"] == "campaign"
+        assert (
+            parse_driver_spec(parsed["url"]) == parsed
+        )  # round trip through the canonical url
+
+        # Legacy bare names keep parsing (backward compatibility).
+        for name in ("posix", "memory", "faulty"):
+            assert parse_driver_spec(name) == {"scheme": name}
+
+    def test_http_spec_builds_breaker_wrapped_driver(self):
+        from repro.campaign.objectstore import (
+            CircuitBreakerDriver,
+            HttpDriver,
+        )
+
+        driver = build_driver("http://127.0.0.1:1/campaign", None)
+        assert isinstance(driver, CircuitBreakerDriver)
+        assert isinstance(driver.inner, HttpDriver)
+        assert driver.spec == "http://127.0.0.1:1/campaign"
+        rebuilt = build_driver(driver.spec, None)
+        assert rebuilt.spec == driver.spec
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "memory:///with/path",
+            "posix://host/path",
+            "posix://",
+            "http://127.0.0.1:8123",
+            "http://127.0.0.1:8123/a/b",
+            "ftp://host/bucket",
+        ],
+    )
+    def test_malformed_url_specs_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            build_driver(bad, None)
+
+    def test_posix_spec_without_root_rejected(self):
+        # Rootless specs (memory://, http://) omit the root; a bare
+        # posix driver still needs one, loudly.
+        with pytest.raises(ConfigurationError):
+            build_driver("posix")
+
 
 class TestHeartbeatResilience:
     """Satellite: the heartbeat survives transient I/O faults."""
@@ -777,7 +853,35 @@ class TestMemoryDriverCampaign:
         )
         status = store.status()
         assert status["storage"]["driver"].startswith("retrying(")
-        assert "ops" in status["storage"]
+        # Wrapper stats nest per layer instead of merging by overwrite.
+        assert "n_retries" in status["storage"]
+        assert "ops" in status["storage"]["inner"]
+
+    def test_stacked_wrapper_stats_nest_without_collisions(self):
+        # retrying(faulty(posix-or-memory)): every layer's counters
+        # must be reported under its own level, never clobbered.
+        inner = MemoryDriver()
+        faulty = FaultyDriver(
+            inner,
+            storage_plan(
+                [{"kind": "error", "op": "get", "calls": [1]}]
+            ),
+        )
+        retrying = RetryingDriver(faulty, FAST_STORAGE_RETRY)
+        retrying.put_atomic("points/a.json", b"x")
+        assert retrying.get("points/a.json") == b"x"  # heals one error
+        stats = retrying.stats()
+        assert stats["driver"] == "retrying(faulty(memory))"
+        assert stats["n_retries"] == 1
+        layer = stats["inner"]
+        assert layer["driver"] == "faulty(memory)"
+        assert layer["n_injected_faults"] == 1
+        base = layer["inner"]
+        assert base["driver"] == "memory"
+        assert base["ops"]["put_atomic"] == 1
+        # The injected error never reached the base driver: one real
+        # get, one injected failure absorbed a layer above.
+        assert base["ops"]["get"] == 1
 
 
 def _child_run_faulty(root, spec_dict, plan_json, owner, lease_ttl_s):
