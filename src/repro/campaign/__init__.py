@@ -29,10 +29,17 @@ declarative, cacheable artifacts:
   (:class:`FaultPlan` / ``REPRO_FAULT_PLAN``, :class:`StorageFaultPlan`
   / ``REPRO_STORAGE_FAULT_PLAN``) exercising every recovery path
   above in CI;
+* :mod:`repro.campaign.service` / :mod:`repro.campaign.client` — the
+  HSDS-style service node: :class:`CampaignService`
+  (``python -m repro.campaign serve-api``) accepts JSON campaign
+  specs over HTTP, answers cached points straight from the store,
+  dedupes identical in-flight requests, and streams per-point results
+  with bounded backpressure; :class:`CampaignServiceClient` drives it
+  with retries and a :class:`CircuitBreaker`;
 * :mod:`repro.campaign.presets` — builtin specs matching the Fig.
   17/18 drivers seed for seed;
 * ``python -m repro.campaign`` — ``run`` / ``status`` / ``export`` /
-  ``serve``.
+  ``serve`` / ``serve-api`` / ``submit``.
 
 See the Campaign layer sections of ``docs/ARCHITECTURE.md``.
 """
@@ -43,12 +50,18 @@ from repro.campaign.faults import (
     StorageFaultPlan,
     StorageFaultRule,
 )
+from repro.campaign.client import (
+    CampaignServiceClient,
+    CampaignServiceRun,
+)
 from repro.campaign.leases import LeaseManager
 from repro.campaign.objectstore import (
+    CircuitBreaker,
     CircuitBreakerDriver,
     HttpDriver,
     ObjectStoreService,
 )
+from repro.campaign.service import CampaignService, campaign_id_for
 from repro.campaign.storage import (
     FaultyDriver,
     MemoryDriver,
@@ -84,8 +97,12 @@ __all__ = [
     "CampaignPointResult",
     "CampaignRun",
     "CampaignRunner",
+    "CampaignService",
+    "CampaignServiceClient",
+    "CampaignServiceRun",
     "CampaignSpec",
     "CampaignStore",
+    "CircuitBreaker",
     "CircuitBreakerDriver",
     "FaultPlan",
     "FaultRule",
@@ -104,6 +121,7 @@ __all__ = [
     "StorageRetryPolicy",
     "build_driver",
     "build_preset",
+    "campaign_id_for",
     "parse_driver_spec",
     "derive_seeds",
     "execute_point",

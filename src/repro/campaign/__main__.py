@@ -2,7 +2,7 @@
 
 import sys
 
-from repro.campaign.cli import main
+from repro.campaign.cli import entrypoint
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(entrypoint())

@@ -1,0 +1,386 @@
+"""Client for the campaign service node (:mod:`repro.campaign.service`).
+
+:class:`CampaignServiceClient` drives the NDJSON submit/status/healthz
+protocol end-to-end and degrades through the same machinery as the
+storage layer: wire-level failures (refused connections, 5xx/429
+responses, torn streams) surface as
+:class:`~repro.errors.TransientStorageError` and are retried with the
+:class:`~repro.campaign.storage.StorageRetryPolicy` seeded-jitter
+backoff (``Retry-After`` hints floor the delay), a
+:class:`~repro.campaign.objectstore.CircuitBreaker` fails fast once
+the endpoint looks dead (:class:`~repro.errors.CircuitOpenError`), and
+retry exhaustion raises
+:class:`~repro.errors.PersistentStorageError` — so fault plans from
+:mod:`repro.campaign.faults` apply to the service layer unchanged.
+
+A mid-stream disconnect is safe to retry: the service deduplicates by
+campaign id, so a re-submit either joins the still-running execution
+or replays a finished one from the content-hash cache — each attempt's
+subscription starts at event zero and receives the full stream, never
+a partial suffix.
+
+>>> from repro.campaign.client import parse_service_url
+>>> parse_service_url("http://127.0.0.1:8124")
+('http', '127.0.0.1:8124')
+>>> parse_service_url("https://campaigns.example.org/")
+('https', 'campaigns.example.org')
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from http.client import HTTPConnection, HTTPException, HTTPSConnection
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.campaign.objectstore import CircuitBreaker
+from repro.campaign.service import (
+    CAMPAIGN_ID_HEADER,
+    CREATED_HEADER,
+    _canonical,
+)
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.storage import StorageRetryPolicy
+from repro.errors import (
+    CampaignExecutionError,
+    CampaignServiceError,
+    ConfigurationError,
+    PersistentStorageError,
+    TransientStorageError,
+)
+from repro.protocol.network import NetworkMetrics
+
+
+def parse_service_url(url: str) -> Tuple[str, str]:
+    """Validated ``(scheme, netloc)`` of a service base URL."""
+    parsed = urlsplit(url)
+    if parsed.scheme not in ("http", "https"):
+        raise ConfigurationError(
+            f"campaign service URL must be http(s)://host:port, "
+            f"got {url!r}"
+        )
+    if not parsed.netloc:
+        raise ConfigurationError(
+            f"campaign service URL has no host: {url!r}"
+        )
+    if parsed.path.strip("/"):
+        raise ConfigurationError(
+            f"campaign service URL takes no path "
+            f"(the service is not bucketed), got {url!r}"
+        )
+    return parsed.scheme, parsed.netloc
+
+
+@dataclass
+class CampaignServiceRun:
+    """One successful ``submit`` round trip.
+
+    ``events`` and ``raw_lines`` are aligned index-for-index — the
+    parsed event and the exact bytes of its NDJSON line (the
+    byte-identity unit of the service's determinism contract).
+    """
+
+    campaign_id: str
+    created: bool
+    events: List[Dict[str, object]] = field(default_factory=list)
+    raw_lines: List[bytes] = field(default_factory=list)
+    summary: Dict[str, object] = field(default_factory=dict)
+    attempts: int = 1
+
+    @property
+    def point_events(self) -> List[Dict[str, object]]:
+        return [e for e in self.events if e.get("event") == "point"]
+
+    @property
+    def point_lines(self) -> List[bytes]:
+        """Raw bytes of the ``point`` lines, in spec order — compare
+        across clients/attempts for byte-identical result streams."""
+        return [
+            self.raw_lines[i]
+            for i, e in enumerate(self.events)
+            if e.get("event") == "point"
+        ]
+
+    @property
+    def metrics(self) -> List[NetworkMetrics]:
+        return [
+            NetworkMetrics(**e["metrics"]) for e in self.point_events
+        ]
+
+    @property
+    def n_computed(self) -> int:
+        return int(self.summary.get("points_computed", 0))
+
+    @property
+    def n_cached(self) -> int:
+        return int(self.summary.get("points_cached", 0))
+
+    @property
+    def n_failed(self) -> int:
+        return int(self.summary.get("points_failed", 0))
+
+
+class CampaignServiceClient:
+    """Retrying, circuit-broken client for a :class:`CampaignService`.
+
+    ``retry`` is a :class:`StorageRetryPolicy` (same deterministic
+    backoff the storage drivers use); ``timeout_s`` bounds each socket
+    read — it must exceed the longest single-point computation, since
+    the stream goes quiet while a point runs. ``breaker`` accepts a
+    pre-built :class:`CircuitBreaker` to share failure state across
+    clients of one endpoint.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        retry: Optional[StorageRetryPolicy] = None,
+        timeout_s: float = 60.0,
+        failure_threshold: int = 5,
+        reset_after_s: float = 30.0,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> None:
+        self._scheme, self._netloc = parse_service_url(url)
+        self._url = f"{self._scheme}://{self._netloc}"
+        self._retry = retry if retry is not None else StorageRetryPolicy()
+        self._timeout_s = float(timeout_s)
+        self._breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker(
+                self._url, failure_threshold, reset_after_s
+            )
+        )
+        self._n_retries = 0
+
+    @property
+    def url(self) -> str:
+        return self._url
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        return self._breaker
+
+    @property
+    def n_retries(self) -> int:
+        return self._n_retries
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+
+    def _connect(self):
+        cls = (
+            HTTPSConnection if self._scheme == "https" else HTTPConnection
+        )
+        return cls(self._netloc, timeout=self._timeout_s)
+
+    def _call(self, op: str, key: str, fn) -> Tuple[object, int]:
+        """``fn()`` under the breaker with bounded retries; returns
+        ``(result, attempts)``. Service-level answers (4xx rejections,
+        failed campaigns) propagate without counting against the
+        endpoint's health."""
+        answers = (CampaignServiceError, CampaignExecutionError)
+        attempt = 1
+        while True:
+            try:
+                result = self._breaker.guard(
+                    op, key, fn, answers=answers
+                )
+                return result, attempt
+            except TransientStorageError as error:
+                if attempt >= self._retry.max_attempts:
+                    raise PersistentStorageError(
+                        f"{op} against {self._url} failed after "
+                        f"{attempt} attempts: {error}"
+                    ) from error
+                backoff = self._retry.backoff_s(op, key, attempt)
+                if error.retry_after_s is not None:
+                    backoff = max(
+                        backoff,
+                        min(
+                            float(error.retry_after_s),
+                            self._retry.max_delay_s,
+                        ),
+                    )
+                time.sleep(backoff)
+                self._n_retries += 1
+                attempt += 1
+
+    @staticmethod
+    def _check_response(op: str, response) -> None:
+        """Map a non-200 status exactly like the storage driver: 5xx
+        and 429 are transient (with ``Retry-After`` honoured), other
+        errors are definitive service answers."""
+        if response.status == 200:
+            return
+        try:
+            body = response.read(512)
+        except (HTTPException, OSError, ValueError):
+            body = b""
+        detail = body.decode("utf-8", "replace").strip()
+        if response.status >= 500 or response.status == 429:
+            header = response.getheader("Retry-After")
+            retry_after = None
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    retry_after = None
+            raise TransientStorageError(
+                f"{op}: HTTP {response.status} from service: {detail}",
+                retry_after_s=retry_after,
+            )
+        raise CampaignServiceError(
+            f"{op}: HTTP {response.status} from service: {detail}"
+        )
+
+    def _get_json(self, path: str, op: str) -> Dict[str, object]:
+        connection = self._connect()
+        try:
+            try:
+                connection.request("GET", path)
+                response = connection.getresponse()
+            except (HTTPException, OSError, ValueError) as error:
+                raise TransientStorageError(
+                    f"{op} {self._url}{path} failed: "
+                    f"{type(error).__name__}: {error}"
+                ) from error
+            self._check_response(op, response)
+            try:
+                body = response.read()
+                payload = json.loads(body.decode("utf-8"))
+            except (HTTPException, OSError, ValueError) as error:
+                raise TransientStorageError(
+                    f"{op}: response torn mid-body: "
+                    f"{type(error).__name__}: {error}"
+                ) from error
+            if not isinstance(payload, dict):
+                raise TransientStorageError(
+                    f"{op}: non-object JSON response"
+                )
+            return payload
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------ #
+    # API
+    # ------------------------------------------------------------------ #
+
+    def healthz(self) -> Dict[str, object]:
+        result, _ = self._call(
+            "healthz", "", lambda: self._get_json("/healthz", "healthz")
+        )
+        return result
+
+    def status(self, campaign_id: str) -> Dict[str, object]:
+        result, _ = self._call(
+            "status",
+            campaign_id,
+            lambda: self._get_json(
+                f"/campaigns/{campaign_id}/status", "status"
+            ),
+        )
+        return result
+
+    def list_campaigns(self) -> List[Dict[str, object]]:
+        result, _ = self._call(
+            "list_campaigns",
+            "",
+            lambda: self._get_json("/campaigns", "list_campaigns"),
+        )
+        return list(result.get("campaigns", []))
+
+    def submit(
+        self, spec, *, raise_on_failed: bool = True
+    ) -> CampaignServiceRun:
+        """Submit a campaign and stream it to completion.
+
+        ``spec`` is a :class:`CampaignSpec` or its dict form. Transient
+        transport failures re-submit (dedup/cache make that safe — see
+        the module docstring). A server-side *execution* failure
+        (summary status ``failed``) raises
+        :class:`~repro.errors.CampaignExecutionError` when
+        ``raise_on_failed`` (the endpoint answered; the breaker does
+        not trip). A ``partial`` summary returns normally — inspect
+        :attr:`CampaignServiceRun.n_failed`.
+        """
+        spec_dict = (
+            spec.to_dict()
+            if isinstance(spec, CampaignSpec)
+            else dict(spec)
+        )
+        body = _canonical({"spec": spec_dict})
+        run, attempts = self._call(
+            "submit", "", lambda: self._submit_once(body)
+        )
+        run.attempts = attempts
+        if raise_on_failed and run.summary.get("status") == "failed":
+            raise CampaignExecutionError(
+                f"campaign {run.campaign_id[:12]} failed server-side: "
+                f"{run.summary.get('error', '?')}"
+            )
+        return run
+
+    def _submit_once(self, body: bytes) -> CampaignServiceRun:
+        connection = self._connect()
+        try:
+            try:
+                connection.request(
+                    "POST",
+                    "/campaigns",
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+            except (HTTPException, OSError, ValueError) as error:
+                raise TransientStorageError(
+                    f"submit to {self._url} failed: "
+                    f"{type(error).__name__}: {error}"
+                ) from error
+            self._check_response("submit", response)
+            run = CampaignServiceRun(
+                campaign_id=response.getheader(CAMPAIGN_ID_HEADER, ""),
+                created=response.getheader(CREATED_HEADER) == "1",
+            )
+            while True:
+                try:
+                    raw = response.readline()
+                except (HTTPException, OSError, ValueError) as error:
+                    raise TransientStorageError(
+                        f"submit stream broke mid-read: "
+                        f"{type(error).__name__}: {error}"
+                    ) from error
+                if not raw:
+                    raise TransientStorageError(
+                        "submit stream ended before the done event"
+                    )
+                try:
+                    event = json.loads(raw.decode("utf-8"))
+                except ValueError as error:
+                    raise TransientStorageError(
+                        f"submit stream line torn: {error}"
+                    ) from error
+                if event.get("event") == "error":
+                    # Dropped subscriber — re-subscribe via retry.
+                    raise TransientStorageError(
+                        f"service dropped this subscriber: "
+                        f"{event.get('error', '?')}"
+                    )
+                run.events.append(event)
+                run.raw_lines.append(raw)
+                if event.get("event") == "done":
+                    run.summary = event
+                    return run
+        finally:
+            connection.close()
+
+
+__all__ = [
+    "CampaignServiceClient",
+    "CampaignServiceRun",
+    "parse_service_url",
+]

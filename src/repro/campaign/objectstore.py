@@ -92,6 +92,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
+import sys
 import threading
 import time
 from http.client import HTTPConnection, HTTPException, HTTPSConnection
@@ -127,6 +129,9 @@ SIZE_HEADER = "X-Repro-Size"
 MTIME_HEADER = "X-Repro-Mtime"
 DELETED_HEADER = "X-Repro-Deleted"
 PERSISTENT_HEADER = "X-Repro-Persistent"
+
+
+log = logging.getLogger("repro.campaign.objectstore")
 
 
 def _sha256(data: bytes) -> str:
@@ -393,34 +398,30 @@ class HttpDriver(StorageDriver):
             self._unexpected("rename", key, status, body)
 
 
-class CircuitBreakerDriver(StorageDriver):
-    """Fail-fast wrapper tripping persistent network failure into the
-    runner's read-only degradation path (state machine in the module
-    docstring).
+class CircuitBreaker:
+    """Reusable fail-fast state machine (module-docstring diagram).
 
-    Counts *consecutive* failed operations (missing keys and lost
-    exclusive claims are answers, not failures); at
-    ``failure_threshold`` the breaker opens and every call raises
-    :class:`~repro.errors.CircuitOpenError` without touching the wire.
-    After ``reset_after_s`` one half-open probe is let through — its
-    success closes the breaker, its failure reopens it. Stacked as
-    ``RetryingDriver(CircuitBreakerDriver(HttpDriver))`` (what
-    ``build_driver("http://...")`` plus the store's auto-wrap
-    produces), so bounded retries run above and fail-fast below.
+    Counts *consecutive* failed calls; at ``failure_threshold`` the
+    breaker opens and :meth:`guard` raises
+    :class:`~repro.errors.CircuitOpenError` without invoking the
+    guarded call. After ``reset_after_s`` one half-open probe is let
+    through — its success closes the breaker, its failure reopens it.
+    The same machine protects storage operations
+    (:class:`CircuitBreakerDriver`) and campaign-service requests
+    (:class:`repro.campaign.client.CampaignServiceClient`).
     """
 
     def __init__(
         self,
-        inner: StorageDriver,
+        name: str = "endpoint",
         failure_threshold: int = 5,
         reset_after_s: float = 30.0,
     ) -> None:
-        super().__init__()
         if failure_threshold < 1:
             raise ConfigurationError("failure_threshold must be >= 1")
         if reset_after_s < 0:
             raise ConfigurationError("reset_after_s must be >= 0")
-        self._inner = inner
+        self.name = name
         self._threshold = int(failure_threshold)
         self._reset_after_s = float(reset_after_s)
         self._lock = threading.Lock()
@@ -430,14 +431,6 @@ class CircuitBreakerDriver(StorageDriver):
         self._probe_in_flight = False
         self._n_trips = 0
         self._n_short_circuited = 0
-        self.name = f"breaker({inner.name})"
-        spec = getattr(inner, "spec", None)
-        if spec is not None:
-            self.spec = spec
-
-    @property
-    def inner(self) -> StorageDriver:
-        return self._inner
 
     @property
     def state(self) -> str:
@@ -471,7 +464,7 @@ class CircuitBreakerDriver(StorageDriver):
                 - (time.monotonic() - self._opened_at),
             )
             raise CircuitOpenError(
-                f"circuit open for {self._inner.name}: {op}({key!r}) "
+                f"circuit open for {self.name}: {op}({key!r}) "
                 f"failed fast ({self._consecutive_failures} consecutive "
                 f"failures; next probe in {remaining:.1f}s)"
             )
@@ -499,11 +492,25 @@ class CircuitBreakerDriver(StorageDriver):
                 self._n_trips += 1
             self._probe_in_flight = False
 
-    def _guard(self, op: str, key: str, fn):
+    def guard(
+        self,
+        op: str,
+        key: str,
+        fn,
+        answers: Tuple[type, ...] = (StorageMissingError,),
+    ):
+        """Run ``fn()`` under the breaker.
+
+        ``answers`` are exception types that count as the backend
+        *answering* (a missing key, a lost exclusive claim): they
+        propagate without tripping the breaker. Transient/persistent
+        storage errors count as failures; anything else passes through
+        untouched.
+        """
         probe = self._admit(op, key)
         try:
             result = fn()
-        except StorageMissingError:
+        except answers:
             self._on_success(probe)  # the backend answered
             raise
         except (TransientStorageError, PersistentStorageError):
@@ -511,6 +518,54 @@ class CircuitBreakerDriver(StorageDriver):
             raise
         self._on_success(probe)
         return result
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state,
+                "n_trips": self._n_trips,
+                "n_short_circuited": self._n_short_circuited,
+            }
+
+
+class CircuitBreakerDriver(StorageDriver):
+    """Fail-fast wrapper tripping persistent network failure into the
+    runner's read-only degradation path (state machine in the module
+    docstring; the machine itself lives in :class:`CircuitBreaker`).
+
+    Missing keys and lost exclusive claims are answers, not failures.
+    Stacked as ``RetryingDriver(CircuitBreakerDriver(HttpDriver))``
+    (what ``build_driver("http://...")`` plus the store's auto-wrap
+    produces), so bounded retries run above and fail-fast below.
+    """
+
+    def __init__(
+        self,
+        inner: StorageDriver,
+        failure_threshold: int = 5,
+        reset_after_s: float = 30.0,
+    ) -> None:
+        super().__init__()
+        self._inner = inner
+        self._breaker = CircuitBreaker(
+            inner.name, failure_threshold, reset_after_s
+        )
+        self.name = f"breaker({inner.name})"
+        spec = getattr(inner, "spec", None)
+        if spec is not None:
+            self.spec = spec
+
+    @property
+    def inner(self) -> StorageDriver:
+        return self._inner
+
+    @property
+    def state(self) -> str:
+        return self._breaker.state
+
+    def _guard(self, op: str, key: str, fn):
+        return self._breaker.guard(op, key, fn)
 
     def get(self, key: str) -> bytes:
         return self._guard("get", key, lambda: self._inner.get(key))
@@ -554,14 +609,8 @@ class CircuitBreakerDriver(StorageDriver):
         )
 
     def stats(self) -> Dict[str, object]:
-        with self._lock:
-            self._maybe_half_open()
-            own = {
-                "driver": self.name,
-                "state": self._state,
-                "n_trips": self._n_trips,
-                "n_short_circuited": self._n_short_circuited,
-            }
+        own: Dict[str, object] = {"driver": self.name}
+        own.update(self._breaker.snapshot())
         own["inner"] = self._inner.stats()
         return own
 
@@ -571,10 +620,74 @@ class CircuitBreakerDriver(StorageDriver):
 # ---------------------------------------------------------------------- #
 
 
-class _ObjectStoreHTTPServer(ThreadingHTTPServer):
+#: Exceptions that mean "the client hung up mid-request" — routine
+#: under chaos plans and impatient clients, never a server bug.
+DISCONNECT_ERRORS = (
+    BrokenPipeError,
+    ConnectionResetError,
+    ConnectionAbortedError,
+)
+
+
+class ClientDisconnectLog:
+    """Counts mid-response client disconnects for an HTTP service.
+
+    One warning line on the first occurrence, a ``log_lines`` entry per
+    event, never a traceback — chaos plans disconnect on purpose,
+    hundreds of times per CI run. Mixed into :class:`ObjectStoreService`
+    and :class:`repro.campaign.service.CampaignService`, both of which
+    provide ``log_lines``.
+    """
+
+    log_lines: List[str]
+
+    def _init_disconnect_log(self) -> None:
+        self.n_client_disconnects = 0
+        self._disconnect_lock = threading.Lock()
+
+    def note_client_disconnect(self, client_address, exc) -> None:
+        with self._disconnect_lock:
+            self.n_client_disconnects += 1
+            first = self.n_client_disconnects == 1
+        self.log_lines.append(
+            f"client disconnect from {client_address}: "
+            f"{type(exc).__name__}"
+        )
+        if first:
+            log.warning(
+                "client %s disconnected mid-response (%s); further "
+                "disconnects are counted silently",
+                client_address,
+                type(exc).__name__,
+            )
+
+
+class DisconnectTolerantHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that treats client disconnects as routine.
+
+    The stock ``socketserver`` prints a full traceback to stderr every
+    time a handler thread dies on ``BrokenPipeError`` /
+    ``ConnectionResetError`` — which under a chaos plan (or a client
+    that simply stopped reading a stream) spams CI logs with noise.
+    Disconnects are counted on the owning service
+    (``note_client_disconnect``) and logged once; everything else still
+    gets the stock traceback.
+    """
+
     daemon_threads = True
     allow_reuse_address = True
-    service: "ObjectStoreService"
+    service: ClientDisconnectLog
+
+    def handle_error(self, request, client_address) -> None:
+        exc = sys.exc_info()[1]
+        if isinstance(exc, DISCONNECT_ERRORS):
+            self.service.note_client_disconnect(client_address, exc)
+            return
+        super().handle_error(request, client_address)
+
+
+class _ObjectStoreHTTPServer(DisconnectTolerantHTTPServer):
+    pass
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -838,7 +951,7 @@ class _Handler(BaseHTTPRequestHandler):
     do_POST = _handle
 
 
-class ObjectStoreService:
+class ObjectStoreService(ClientDisconnectLog):
     """Hermetic HTTP object-store service over a local driver.
 
     In-process for tests (``with ObjectStoreService() as service:``) and
@@ -876,6 +989,7 @@ class ObjectStoreService:
         self._history: Dict[str, bytes] = {}
         self._history_lock = threading.Lock()
         self.log_lines: List[str] = []
+        self._init_disconnect_log()
         self._server: Optional[_ObjectStoreHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -966,7 +1080,11 @@ class ObjectStoreService:
 
 
 __all__ = [
+    "DISCONNECT_ERRORS",
+    "CircuitBreaker",
+    "ClientDisconnectLog",
     "CircuitBreakerDriver",
+    "DisconnectTolerantHTTPServer",
     "HttpDriver",
     "ObjectStoreService",
 ]

@@ -56,7 +56,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -343,6 +343,14 @@ class CampaignRunner:
         When True, permanently-failed points are reported on
         :attr:`CampaignRun.failures` instead of raising
         :class:`~repro.errors.CampaignExecutionError`.
+    on_result:
+        Optional progress callback ``(index, result)`` invoked from
+        the runner thread the moment each point resolves (cache hit or
+        fresh computation) — the in-process streaming hook the
+        campaign service node uses to publish incremental results.
+        Indices arrive in no particular order under a process pool;
+        callers needing spec order must reorder. A raising callback is
+        logged and ignored: an observer must never corrupt a run.
     """
 
     def __init__(
@@ -358,6 +366,9 @@ class CampaignRunner:
         wait_poll_s: float = 0.1,
         wait_timeout_s: Optional[float] = None,
         allow_partial: bool = False,
+        on_result: Optional[
+            Callable[[int, "CampaignPointResult"], None]
+        ] = None,
     ) -> None:
         self._fault_plan = (
             fault_plan if fault_plan is not None else FaultPlan.from_env()
@@ -374,6 +385,7 @@ class CampaignRunner:
         self._wait_poll_s = float(wait_poll_s)
         self._wait_timeout_s = wait_timeout_s
         self._allow_partial = bool(allow_partial)
+        self._on_result = on_result
         self._storage_degraded = False
 
     @property
@@ -410,7 +422,7 @@ class CampaignRunner:
                 else None
             )
             if cached is not None:
-                outcome[index] = cached
+                self._resolve(outcome, index, cached)
             else:
                 pending.append(index)
 
@@ -476,6 +488,23 @@ class CampaignRunner:
             failures=[failures[i] for i in sorted(failures)],
             storage_degraded=self._storage_degraded,
         )
+
+    def _resolve(
+        self,
+        outcome: Dict[int, CampaignPointResult],
+        index: int,
+        result: CampaignPointResult,
+    ) -> None:
+        """Record a resolved point and notify the progress observer."""
+        outcome[index] = result
+        if self._on_result is not None:
+            try:
+                self._on_result(index, result)
+            except Exception:
+                log.exception(
+                    "on_result progress callback failed for point %d",
+                    index,
+                )
 
     def _cached_result(
         self, point: CampaignPoint
@@ -602,13 +631,17 @@ class CampaignRunner:
                     )
                     if leases is not None:
                         leases.release(hashes[index])
-                    outcome[index] = CampaignPointResult(
-                        point=points[index],
-                        metrics=NetworkMetrics(**metrics_dict),
-                        provenance=provenance,
-                        cached=False,
-                        elapsed_s=elapsed,
-                        attempts=1,
+                    self._resolve(
+                        outcome,
+                        index,
+                        CampaignPointResult(
+                            point=points[index],
+                            metrics=NetworkMetrics(**metrics_dict),
+                            provenance=provenance,
+                            cached=False,
+                            elapsed_s=elapsed,
+                            attempts=1,
+                        ),
                     )
         finally:
             if broken:
@@ -671,7 +704,7 @@ class CampaignRunner:
                 if self._store_has(point):
                     cached = self._cached_result(point)
                     if cached is not None:
-                        outcome[index] = cached
+                        self._resolve(outcome, index, cached)
                         progressed = True
                         continue
                 # Degraded storage bypasses leases: claims go through
@@ -695,7 +728,7 @@ class CampaignRunner:
                         cached = self._cached_result(point)
                         if cached is not None:
                             leases.release(content_hash)
-                            outcome[index] = cached
+                            self._resolve(outcome, index, cached)
                             progressed = True
                             continue
                 start_attempt = attempts_done.get(index, 0) + 1
@@ -715,13 +748,17 @@ class CampaignRunner:
                         elapsed,
                         attempt=n_attempts,
                     )
-                    outcome[index] = CampaignPointResult(
-                        point=point,
-                        metrics=NetworkMetrics(**metrics_dict),
-                        provenance=provenance,
-                        cached=False,
-                        elapsed_s=elapsed,
-                        attempts=n_attempts,
+                    self._resolve(
+                        outcome,
+                        index,
+                        CampaignPointResult(
+                            point=point,
+                            metrics=NetworkMetrics(**metrics_dict),
+                            provenance=provenance,
+                            cached=False,
+                            elapsed_s=elapsed,
+                            attempts=n_attempts,
+                        ),
                     )
                 except _PointFailed as failed:
                     failures[index] = CampaignPointFailure(

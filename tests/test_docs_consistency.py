@@ -36,6 +36,8 @@ DOCUMENTED_MODULES = [
     "repro.campaign.runner",
     "repro.campaign.storage",
     "repro.campaign.objectstore",
+    "repro.campaign.service",
+    "repro.campaign.client",
 ]
 
 #: Load-bearing anchors per documentation file: strings that must keep
@@ -81,6 +83,13 @@ DOC_ANCHORS = {
         "If-None-Match: *",
         "CircuitOpenError",
         "half-open",
+        "serve-api",
+        "POST /campaigns",
+        "/healthz",
+        "campaign_id_for",
+        "CampaignServiceClient",
+        "max_backlog",
+        "points_computed == 0",
     ],
     "README.md": [
         "docs/PERFORMANCE.md",
@@ -96,6 +105,10 @@ DOC_ANCHORS = {
         "repro.campaign serve",
         "http://hostA:8123/campaign",
         "network-chaos",
+        "serve-api",
+        "--service http://hostA:8124",
+        "/healthz",
+        "service-chaos",
     ],
 }
 
@@ -121,6 +134,10 @@ class TestCiPipeline:
             "network-chaos",
             "repro.campaign serve",
             "--storage-driver http://",
+            "service-chaos",
+            "serve-api",
+            "--service-fault-plan",
+            "submit --service",
         ):
             assert anchor in text, f"ci.yml lost {anchor!r}"
 

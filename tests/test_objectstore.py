@@ -735,3 +735,57 @@ class TestHttpAcceptance:
         ]
         assert len(logged) == len(set(logged))
         assert sorted(logged) == sorted(hashes)
+
+
+class TestClientDisconnects:
+    """Regression: a client hanging up mid-response must be counted
+    and logged once — never a traceback spewed to stderr by the
+    ThreadingHTTPServer machinery."""
+
+    def test_mid_response_hangup_is_counted_not_tracebacked(
+        self, request, capfd
+    ):
+        import socket
+        import struct
+        from urllib.parse import urlsplit
+
+        svc = ObjectStoreService()
+        svc.start()
+        request.addfinalizer(svc.stop)
+        # Big enough that the response write outlives the socket.
+        svc.driver.put_atomic("points/big.bin", b"x" * (8 << 20))
+
+        netloc = urlsplit(svc.url).netloc
+        host, port = netloc.rsplit(":", 1)
+        for _ in range(3):
+            sock = socket.create_connection((host, int(port)), 10)
+            try:
+                # RST on close so the server-side write fails hard.
+                sock.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+                sock.sendall(
+                    b"GET /campaign/points/big.bin HTTP/1.1\r\n"
+                    b"Host: store\r\n\r\n"
+                )
+                sock.recv(1024)  # headers + first body bytes
+            finally:
+                sock.close()
+
+        deadline = time.monotonic() + 10.0
+        while (
+            svc.n_client_disconnects < 1
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.02)
+        assert svc.n_client_disconnects >= 1
+        assert any(
+            "client disconnect" in line for line in svc.log_lines
+        )
+
+        captured = capfd.readouterr()
+        assert "Traceback" not in captured.err
+        assert "BrokenPipeError" not in captured.err
+        assert "ConnectionResetError" not in captured.err
