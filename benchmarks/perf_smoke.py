@@ -29,6 +29,10 @@ wall-clock:
   gates on this), and the Fig. 18 campaign over the same store (its
   points are content-identical to Fig. 17's, so the cross-figure
   reuse is total);
+* the population-scale path: flat-array office deployments at 256 /
+  10^4 / 10^5 devices (10^4 max under ``--quick``), one hybrid
+  fidelity schedule cycle each (closed-form bulk + seeded Monte-Carlo
+  tail — the PR-10 scaling headline, see ``docs/SCALING.md``);
 * the Fig. 17/18/19 figure drivers end to end (the 17/18 drivers now
   execute through the campaign runner), and the vectorised Section
   2.2 Monte-Carlo block.
@@ -433,6 +437,45 @@ def _time_campaign(
         shutil.rmtree(root, ignore_errors=True)
 
 
+def _time_population_scale(
+    device_counts=(256, 10_000, 100_000)
+) -> dict:
+    """Flat-population deployment + one hybrid-fidelity schedule cycle.
+
+    The PR-10 scaling headline: each point builds an office population
+    as flat NumPy columns (no per-device objects) and scores one full
+    schedule cycle through the hybrid split — closed-form aggregation
+    for the uncontended bulk, seeded Monte-Carlo engine legs for the
+    low-SNR/contended tail (see docs/SCALING.md).
+    """
+    from repro.protocol.population import (
+        hybrid_population_round,
+        office_population,
+    )
+
+    section = {}
+    for count in device_counts:
+        start = time.perf_counter()
+        population = office_population(
+            count, rng=101, snr_scale_db=-26.0
+        )
+        deploy_s = time.perf_counter() - start
+        start = time.perf_counter()
+        result = hybrid_population_round(population, seed=11)
+        round_s = time.perf_counter() - start
+        section[f"devices_{count}"] = {
+            "n_devices": count,
+            "deploy_s": round(deploy_s, 4),
+            "wall_clock_s": round(round_s, 4),
+            "n_groups": result.n_groups,
+            "closed_form_groups": result.n_closed_form_groups,
+            "monte_carlo_groups": result.n_monte_carlo_groups,
+            "monte_carlo_devices": result.n_monte_carlo_devices,
+            "delivery_ratio": round(result.delivery_ratio, 4),
+        }
+    return section
+
+
 def _time_callable(fn, **kwargs) -> dict:
     start = time.perf_counter()
     fn(**kwargs)
@@ -512,6 +555,7 @@ def validate_report(report: dict) -> dict:
                 "fading",
                 "noise_modes",
                 "campaign",
+                "population_scale",
             ):
                 if section not in run:
                     raise ValueError(
@@ -534,6 +578,28 @@ def validate_report(report: dict) -> dict:
                 raise ValueError(
                     f"{where}.noise_modes lacks speedup_payload_vs_full"
                 )
+        scale = run.get("population_scale")
+        if scale is not None:
+            if not isinstance(scale, dict) or not scale:
+                raise ValueError(
+                    f"{where}.population_scale must be a non-empty object"
+                )
+            for name, entry in scale.items():
+                for counter in ("n_devices", "n_groups"):
+                    if not is_number(entry.get(counter)):
+                        raise ValueError(
+                            f"{where}.population_scale.{name}.{counter} "
+                            "must be a number"
+                        )
+                if (
+                    entry.get("closed_form_groups", 0)
+                    + entry.get("monte_carlo_groups", 0)
+                    != entry.get("n_groups")
+                ):
+                    raise ValueError(
+                        f"{where}.population_scale.{name}: fidelity "
+                        "split does not cover every group"
+                    )
         campaign = run.get("campaign")
         if campaign is not None:
             for section in ("cold", "warm_rerun", "fig18_reuse"):
@@ -617,6 +683,9 @@ def main(quick: bool = False, output=None) -> dict:
         run["fading"] = _time_fading(n_rounds=30, n_devices=32)
         run["noise_modes"] = _time_noise_modes(n_rounds=30, n_devices=32)
         run["campaign"] = _time_campaign(counts=(1, 32), n_rounds=1)
+        run["population_scale"] = _time_population_scale(
+            device_counts=(256, 10_000)
+        )
     else:
         run["fig12"] = {
             "per_round_fft": _time_fig12_legacy(),
@@ -638,6 +707,7 @@ def main(quick: bool = False, output=None) -> dict:
         run["fading"] = _time_fading()
         run["noise_modes"] = _time_noise_modes()
         run["campaign"] = _time_campaign()
+        run["population_scale"] = _time_population_scale()
         run["figure_drivers"] = {
             "fig17": _time_callable(fig17_phy_rate.run, rng=17),
             "fig18": _time_callable(fig18_linklayer.run, rng=18),

@@ -74,6 +74,54 @@ class Deployment:
         snrs = self.snrs_db()
         return float(snrs.max() - snrs.min())
 
+    @classmethod
+    def from_snrs(
+        cls,
+        snrs_db,
+        device_ids=None,
+        downlink_rssi_dbm: float = -30.0,
+        budget: LinkBudget = None,
+    ) -> "Deployment":
+        """Wrap bare uplink SNRs in a static (no-fading) deployment.
+
+        The bridge from the flat population layer to the sample-level
+        engine: a Monte-Carlo leg of the hybrid fidelity split hands the
+        group's effective SNR column straight to
+        :class:`repro.protocol.network.NetworkSimulator` without
+        synthesising a floorplan. Positions/distances are placeholders
+        (the engine only reads ``uplink_snr_db`` and, with power control
+        off, never the geometry) and fading is disabled so the SNRs are
+        taken as the authoritative post-power-control values.
+        """
+        snrs = np.asarray(snrs_db, dtype=float)
+        if snrs.ndim != 1:
+            raise ReproError("snrs_db must be one-dimensional")
+        if device_ids is None:
+            device_ids = range(snrs.size)
+        ids = [int(d) for d in device_ids]
+        if len(ids) != snrs.size:
+            raise ReproError("device_ids must align with snrs_db")
+        if budget is None:
+            budget = LinkBudget()
+        devices = [
+            DeployedDevice(
+                device_id=device_id,
+                position_m=(1.0, 0.0),
+                distance_m=1.0,
+                n_walls=0,
+                uplink_snr_db=float(snr),
+                downlink_rssi_dbm=float(downlink_rssi_dbm),
+                fading=None,
+            )
+            for device_id, snr in zip(ids, snrs)
+        ]
+        return cls(
+            devices=devices,
+            ap_position_m=(0.0, 0.0),
+            floor_size_m=(2.0, 2.0),
+            budget=budget,
+        )
+
     def subset(self, n: int) -> "Deployment":
         """First ``n`` devices (used for the device-count sweeps)."""
         if not 1 <= n <= self.n_devices:

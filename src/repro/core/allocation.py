@@ -16,17 +16,40 @@ mid-ring — maximally (cyclically) distant from the strong edges.
 Association reserves one shift in the high-SNR region (near bin 0) and one
 in the low-SNR region (near the middle), each with SKIP-guards, so joining
 devices of any strength can be heard (Section 3.3.2).
+
+Population state is flat by default: :class:`AllocationTable` keeps its
+device columns in a :class:`repro.protocol.population.Population`
+(struct-of-arrays) and ranks/spreads with the vectorised kernels, so
+bulk admits are O(N) array ops instead of per-device dictionary walks.
+The legacy per-device-object implementation survives as
+``backend="object"`` and the equivalence suite
+(``tests/test_population_scale.py``) pins the two bit-identical.
+
+The slot geometry is cached per configuration: ``_data_slots`` /
+``association_shifts`` are pure functions of the frozen
+:class:`NetScatterConfig`, computed once per config instead of on every
+call (pinned by a regression test).
+
+>>> from repro.core.config import NetScatterConfig
+>>> config = NetScatterConfig(n_association_shifts=0)
+>>> power_aware_allocation([-30.0, -10.0], config)
+{1: 2, 0: 258}
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import NetScatterConfig
 from repro.errors import AllocationError
+
+#: Storage backends of :class:`AllocationTable`: ``"flat"`` (default,
+#: struct-of-arrays) and ``"object"`` (legacy per-device entries).
+TABLE_BACKENDS = ("flat", "object")
 
 
 def cyclic_bin_distance(a: float, b: float, n_bins: int) -> float:
@@ -46,22 +69,29 @@ def power_aware_allocation(
     subsequent (weaker) device gets the next SKIP-spaced shift, so SNR
     decreases monotonically with ring position and the weakest devices end
     up farthest (cyclically) from the strongest.
+
+    The body is one argsort plus a cached folded-gather
+    (:func:`repro.protocol.population.spread_slot_indices`); the result
+    dict lists devices strongest-first, as the legacy per-rank loop did.
     """
     n_devices = len(snrs_db)
     if n_devices == 0:
         raise AllocationError("no devices to allocate")
-    slots = _data_slots(config)
-    if n_devices > len(slots):
+    slots = _data_slot_array(config)
+    if n_devices > slots.size:
         raise AllocationError(
-            f"{n_devices} devices exceed the {len(slots)}-slot capacity "
+            f"{n_devices} devices exceed the {slots.size}-slot capacity "
             f"of {config.describe()}"
         )
+    from repro.protocol.population import spread_slot_indices
+
     order = np.argsort(np.asarray(snrs_db, dtype=float))[::-1]
-    indices = _spread_slot_indices(n_devices, len(slots))
-    assignment: Dict[int, int] = {}
-    for rank, device_index in enumerate(order):
-        assignment[int(device_index)] = slots[indices[rank]]
-    return assignment
+    indices = spread_slot_indices(n_devices, slots.size)
+    ranked_shifts = slots[indices]
+    return {
+        int(device_index): int(shift)
+        for device_index, shift in zip(order, ranked_shifts)
+    }
 
 
 def _spread_slot_indices(n_devices: int, n_slots: int) -> List[int]:
@@ -78,17 +108,13 @@ def _spread_slot_indices(n_devices: int, n_slots: int) -> List[int]:
       both spectrum edges and the weakest land mid-ring, maximising
       their cyclic distance from the strong edges (Fig. 8's "High Power
       | Low Power | High Power" layout).
+
+    Delegates to the cached vectorised kernel in
+    :mod:`repro.protocol.population`; kept for API compatibility.
     """
-    if n_devices > n_slots:
-        raise AllocationError("more devices than slots")
-    positions = [(k * n_slots) // n_devices for k in range(n_devices)]
-    indices: List[int] = []
-    for rank in range(n_devices):
-        if rank % 2 == 0:
-            indices.append(positions[rank // 2])
-        else:
-            indices.append(positions[n_devices - 1 - rank // 2])
-    return indices
+    from repro.protocol.population import spread_slot_indices
+
+    return spread_slot_indices(n_devices, n_slots).tolist()
 
 
 def random_allocation(
@@ -107,13 +133,9 @@ def random_allocation(
     return {i: slots[int(c)] for i, c in enumerate(chosen)}
 
 
-def _data_slots(config: NetScatterConfig) -> List[int]:
-    """SKIP-spaced data shifts in ring order, skipping association slots.
-
-    The slot list starts just after the high-SNR association shift and
-    walks the ring once, excluding the guard neighbourhoods of both
-    association shifts.
-    """
+@lru_cache(maxsize=64)
+def _data_slots_cached(config: NetScatterConfig) -> Tuple[int, ...]:
+    """The per-config slot walk, computed once (configs are frozen)."""
     n = config.n_bins
     skip = config.skip
     reserved = set()
@@ -125,28 +147,55 @@ def _data_slots(config: NetScatterConfig) -> List[int]:
         shift = (config.skip + step * skip) % n
         if shift not in reserved:
             slots.append(shift)
+    return tuple(slots)
+
+
+@lru_cache(maxsize=64)
+def _data_slot_array(config: NetScatterConfig) -> np.ndarray:
+    """Read-only int64 slot array per config (the kernels' view)."""
+    slots = np.array(_data_slots_cached(config), dtype=np.int64)
+    slots.setflags(write=False)
     return slots
 
 
-def association_shifts(config: NetScatterConfig) -> List[int]:
-    """Reserved association shifts: high-SNR region (bin 0 area) and
-    low-SNR region (mid-spectrum), per Section 3.3.2."""
+def _data_slots(config: NetScatterConfig) -> List[int]:
+    """SKIP-spaced data shifts in ring order, skipping association slots.
+
+    The slot list starts just after the high-SNR association shift and
+    walks the ring once, excluding the guard neighbourhoods of both
+    association shifts. Cached per configuration (the config dataclass
+    is frozen/hashable); callers get a fresh list each time.
+    """
+    return list(_data_slots_cached(config))
+
+
+@lru_cache(maxsize=64)
+def _association_shifts_cached(
+    config: NetScatterConfig,
+) -> Tuple[int, ...]:
     if config.n_association_shifts == 0:
-        return []
+        return ()
     if config.n_association_shifts == 1:
-        return [0]
+        return (0,)
     shifts = [0, (config.n_bins // 2) // config.skip * config.skip]
     extra = config.n_association_shifts - 2
     for i in range(extra):
         # Additional association slots interleave at quarter positions.
         quarter = (config.n_bins * (i + 1) // 4) // config.skip * config.skip
         shifts.append(quarter)
-    return shifts[: config.n_association_shifts]
+    return tuple(shifts[: config.n_association_shifts])
+
+
+def association_shifts(config: NetScatterConfig) -> List[int]:
+    """Reserved association shifts: high-SNR region (bin 0 area) and
+    low-SNR region (mid-spectrum), per Section 3.3.2. Cached per
+    configuration; callers get a fresh list each time."""
+    return list(_association_shifts_cached(config))
 
 
 @dataclass
 class AllocationEntry:
-    """One device's standing in the allocation table."""
+    """One device's standing in the allocation table (object backend)."""
 
     device_id: int
     shift: int
@@ -162,20 +211,56 @@ class AllocationTable:
     the paper handles with the log2(256!)-bit reordering query message.
     The table reports whether each admit was incremental or required
     reassignment so the protocol layer can charge the right overhead.
+
+    ``backend="flat"`` (default) keeps the population in struct-of-array
+    columns (:class:`repro.protocol.population.Population`) and ranks,
+    spreads and validates with vectorised kernels; ``backend="object"``
+    is the legacy one-``AllocationEntry``-per-device implementation.
+    Decisions (shifts, reassignment counts, error behaviour) are pinned
+    bit-identical between the two by the equivalence suite.
     """
 
-    def __init__(self, config: NetScatterConfig) -> None:
+    def __init__(
+        self,
+        config: NetScatterConfig,
+        backend: str = "flat",
+        population=None,
+    ) -> None:
+        if backend not in TABLE_BACKENDS:
+            raise AllocationError(
+                f"backend must be one of {TABLE_BACKENDS}, got {backend!r}"
+            )
         self._config = config
-        self._entries: Dict[int, AllocationEntry] = {}
+        self._backend = backend
         self._slots = _data_slots(config)
+        self._slot_array = _data_slot_array(config)
         self.reassignments = 0
+        if backend == "flat":
+            from repro.protocol.population import Population
+
+            self._pop = population if population is not None else Population()
+            self._entries = None
+        else:
+            self._pop = None
+            self._entries: Dict[int, AllocationEntry] = {}
 
     @property
     def config(self) -> NetScatterConfig:
         return self._config
 
     @property
+    def backend(self) -> str:
+        return self._backend
+
+    @property
+    def population(self):
+        """The underlying flat population (``None`` on the object path)."""
+        return self._pop
+
+    @property
     def n_devices(self) -> int:
+        if self._backend == "flat":
+            return self._pop.n_devices
         return len(self._entries)
 
     @property
@@ -184,12 +269,23 @@ class AllocationTable:
 
     def assignments(self) -> Dict[int, int]:
         """Current ``device_id -> shift`` map."""
+        if self._backend == "flat":
+            return dict(
+                zip(
+                    self._pop.device_id.tolist(),
+                    self._pop.shift.tolist(),
+                )
+            )
         return {e.device_id: e.shift for e in self._entries.values()}
 
     def snr_of(self, device_id: int) -> float:
+        if self._backend == "flat":
+            return float(self._pop.snr_db[self._pop.row_of(device_id)])
         return self._entry(device_id).snr_db
 
     def shift_of(self, device_id: int) -> int:
+        if self._backend == "flat":
+            return int(self._pop.shift[self._pop.row_of(device_id)])
         return self._entry(device_id).shift
 
     def _entry(self, device_id: int) -> AllocationEntry:
@@ -199,6 +295,8 @@ class AllocationTable:
 
     def _ranked_ids(self) -> List[int]:
         """Device ids in descending-SNR order (the canonical ring order)."""
+        if self._backend == "flat":
+            return self._pop.device_id[self._pop.ranked_rows()].tolist()
         return sorted(
             self._entries,
             key=lambda d: self._entries[d].snr_db,
@@ -207,6 +305,11 @@ class AllocationTable:
 
     def _spread_assignment(self) -> Dict[int, int]:
         """The canonical spread placement for the current population."""
+        if self._backend == "flat":
+            from repro.protocol.population import spread_shifts
+
+            target = spread_shifts(self._pop.snr_db, self._slot_array)
+            return dict(zip(self._pop.device_id.tolist(), target.tolist()))
         ranked = self._ranked_ids()
         indices = _spread_slot_indices(len(ranked), len(self._slots))
         return {
@@ -215,7 +318,21 @@ class AllocationTable:
         }
 
     def _apply_spread(self) -> bool:
-        """Move every device to its spread slot; True if anyone moved."""
+        """Move every device to its spread slot; True if anyone moved.
+
+        "Moved" counts only devices that already held a real shift
+        (``-1`` marks a fresh admit) — the newcomer taking its first
+        slot is not a reassignment event.
+        """
+        if self._backend == "flat":
+            from repro.protocol.population import spread_shifts
+
+            shifts = self._pop.shift
+            target = spread_shifts(self._pop.snr_db, self._slot_array)
+            changed = target != shifts
+            moved = bool(np.any(changed & (shifts != -1)))
+            shifts[changed] = target[changed]
+            return moved
         target = self._spread_assignment()
         moved = False
         for device_id, shift in target.items():
@@ -238,6 +355,20 @@ class AllocationTable:
         reassignment — the event the paper announces with the
         log2(256!)-bit reordering query message.
         """
+        if self._backend == "flat":
+            if device_id in self._pop:
+                raise AllocationError(
+                    f"device {device_id} already allocated"
+                )
+            if self.n_devices >= self.capacity:
+                raise AllocationError(
+                    f"network full: {self.capacity} slots in use"
+                )
+            row = self._pop.add(device_id, snr_db)
+            moved_others = self._apply_spread()
+            if moved_others:
+                self.reassignments += 1
+            return int(self._pop.shift[row]), moved_others
         if device_id in self._entries:
             raise AllocationError(f"device {device_id} already allocated")
         if self.n_devices >= self.capacity:
@@ -252,8 +383,57 @@ class AllocationTable:
             self.reassignments += 1
         return self._entries[device_id].shift, moved_others
 
+    def bulk_add(
+        self,
+        device_ids: Sequence[int],
+        snrs_db: Sequence[float],
+    ) -> Tuple[np.ndarray, bool]:
+        """Admit many devices under a *single* re-spread.
+
+        The mass-join fast path: all newcomers enter the ring at once
+        and at most one reassignment event is charged (against N when
+        admitting one at a time). Returns ``(shifts, reassigned)`` with
+        ``shifts`` aligned to ``device_ids``. Identical semantics on
+        both backends.
+        """
+        ids = [int(d) for d in device_ids]
+        if self.n_devices + len(ids) > self.capacity:
+            raise AllocationError(
+                f"network full: {self.capacity} slots in use"
+            )
+        if self._backend == "flat":
+            rows = self._pop.bulk_add(ids, snrs_db)
+            moved_others = self._apply_spread()
+            if moved_others:
+                self.reassignments += 1
+            return self._pop.shift[rows].copy(), moved_others
+        for device_id in ids:
+            if device_id in self._entries:
+                raise AllocationError(
+                    f"device {device_id} already allocated"
+                )
+        if len(set(ids)) != len(ids):
+            raise AllocationError("duplicate device ids in bulk add")
+        for device_id, snr_db in zip(ids, snrs_db):
+            self._entries[device_id] = AllocationEntry(
+                device_id=device_id, shift=-1, snr_db=float(snr_db)
+            )
+        moved_others = self._apply_spread()
+        if moved_others:
+            self.reassignments += 1
+        shifts = np.array(
+            [self._entries[d].shift for d in ids], dtype=np.int64
+        )
+        return shifts, moved_others
+
     def remove_device(self, device_id: int) -> None:
         """Remove a device and re-spread the survivors."""
+        if self._backend == "flat":
+            self._pop.row_of(device_id)  # raises if unknown
+            self._pop.remove(device_id)
+            if self._pop.n_devices:
+                self._apply_spread()
+            return
         self._entry(device_id)
         del self._entries[device_id]
         if self._entries:
@@ -262,6 +442,17 @@ class AllocationTable:
     def update_snr(self, device_id: int, snr_db: float) -> bool:
         """Record a significantly changed SNR; returns True if the ring
         had to be re-packed (rank changed)."""
+        if self._backend == "flat":
+            row = self._pop.row_of(device_id)
+            ranked = self._pop.ranked_rows()
+            old_rank = int(np.flatnonzero(ranked == row)[0])
+            self._pop.snr_db[row] = float(snr_db)
+            ranked = self._pop.ranked_rows()
+            new_rank = int(np.flatnonzero(ranked == row)[0])
+            if new_rank != old_rank:
+                self._reassign_all()
+                return True
+            return False
         entry = self._entry(device_id)
         old_rank = self._ranked_ids().index(device_id)
         entry.snr_db = float(snr_db)
@@ -278,6 +469,37 @@ class AllocationTable:
         * no device inside an association guard region,
         * SNR ordering matches ring ordering over the assigned prefix.
         """
+        if self._backend == "flat":
+            from repro.protocol.population import spread_shifts
+
+            shifts = self._pop.shift
+            if shifts.size == 0:
+                return
+            misaligned = shifts % self._config.skip != 0
+            if np.any(misaligned):
+                bad = int(shifts[misaligned][0])
+                raise AllocationError(
+                    f"shift {bad} breaks SKIP alignment"
+                )
+            unique, counts = np.unique(shifts, return_counts=True)
+            if np.any(counts > 1):
+                bad = int(unique[counts > 1][0])
+                raise AllocationError(f"shift {bad} double-booked")
+            outside = ~np.isin(shifts, self._slot_array)
+            if np.any(outside):
+                bad = int(shifts[outside][0])
+                raise AllocationError(
+                    f"shift {bad} is reserved or out of range"
+                )
+            target = spread_shifts(self._pop.snr_db, self._slot_array)
+            mismatched = shifts != target
+            if np.any(mismatched):
+                bad = int(self._pop.device_id[mismatched][0])
+                raise AllocationError(
+                    "ring order does not match SNR order "
+                    f"(device {bad})"
+                )
+            return
         seen = set()
         for entry in self._entries.values():
             if entry.shift % self._config.skip != 0:
@@ -309,6 +531,15 @@ class AllocationTable:
             self._config.n_bins,
         )
 
+    def _snr_shift_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._backend == "flat":
+            return self._pop.snr_db, self._pop.shift
+        entries = list(self._entries.values())
+        return (
+            np.array([e.snr_db for e in entries], dtype=float),
+            np.array([e.shift for e in entries], dtype=float),
+        )
+
     def worst_case_exposure_db(
         self, side_lobe_profile=None
     ) -> Optional[float]:
@@ -317,7 +548,9 @@ class AllocationTable:
         For each ordered pair (strong, weak), the strong device's side
         lobe at their cyclic distance must stay below the weak device's
         signal. Returns the worst margin in dB (negative = safe), or
-        ``None`` with fewer than two devices.
+        ``None`` with fewer than two devices. Evaluated as one pairwise
+        matrix pass (the profile lookup vectorises over the distance
+        matrix) on both backends.
         """
         from repro.phy.spectrum import side_lobe_profile as make_profile
 
@@ -327,19 +560,18 @@ class AllocationTable:
             side_lobe_profile = make_profile(
                 self._config.chirp_params, self._config.zero_pad_factor
             )
-        worst = -np.inf
-        entries = list(self._entries.values())
-        for strong in entries:
-            for weak in entries:
-                if strong.device_id == weak.device_id:
-                    continue
-                delta_db = strong.snr_db - weak.snr_db
-                if delta_db <= 0:
-                    continue
-                distance = cyclic_bin_distance(
-                    strong.shift, weak.shift, self._config.n_bins
-                )
-                lobe_db = side_lobe_profile.at_natural_bin(distance)
-                margin = delta_db + lobe_db  # lobe is negative dB
-                worst = max(worst, margin)
-        return float(worst) if np.isfinite(worst) else None
+        snrs, shifts = self._snr_shift_arrays()
+        delta_db = snrs[:, None] - snrs[None, :]
+        raw = np.abs(
+            shifts[:, None].astype(float) - shifts[None, :].astype(float)
+        ) % self._config.n_bins
+        distance = np.minimum(raw, self._config.n_bins - raw)
+        zp = side_lobe_profile.zero_pad_factor
+        idx = (
+            np.round(distance * zp).astype(np.int64)
+            % side_lobe_profile.n_bins
+        )
+        lobe_db = side_lobe_profile.power_db[idx]
+        margin = np.where(delta_db > 0, delta_db + lobe_db, -np.inf)
+        worst = float(np.max(margin))
+        return worst if np.isfinite(worst) else None

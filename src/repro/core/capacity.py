@@ -5,12 +5,23 @@ The paper's information-theoretic framing: the multi-user uplink capacity
 ``N`` when ``N * Ps / Pn << 1`` — which is exactly the below-noise regime
 backscatter operates in. NetScatter's linear throughput scaling (Fig. 17)
 is this effect made practical.
+
+This module also carries the *closed-form OOK link law* the hybrid
+fidelity split (``repro.protocol.population``) aggregates uncontended
+device groups with: per-device detection, bit-error and packet-delivery
+probabilities as vectorised functions of the pre-despreading SNR. The
+law is the exact noncentral-χ² statistics of a matched-filter OOK
+decision, calibrated against the decode engine (two pinned constants
+below); its validity envelope — where it tracks the engine and where
+Monte-Carlo takes over — is documented in ``docs/SCALING.md``.
 """
 
 from __future__ import annotations
 
 import math
 from typing import Dict, List, Sequence
+
+import numpy as np
 
 from repro.errors import LinkBudgetError
 from repro.utils.conversions import db_to_linear
@@ -77,6 +88,166 @@ def capacity_scaling_series(
             }
         )
     return rows
+
+
+# ---------------------------------------------------------------------- #
+# closed-form OOK link law (the hybrid fidelity split's bulk path)
+# ---------------------------------------------------------------------- #
+
+#: Engine-calibration offset (dB) applied to the pre-despreading SNR
+#: before the χ² law — absorbs the mean CFO/jitter straddle loss of the
+#: decode engine's located-bin readout. Fitted against the measured
+#: single-device engine curve (see docs/SCALING.md).
+OOK_CALIBRATION_DB = -0.15
+
+#: Effective number of *independent* payload bits in a 40-bit packet.
+#: Bit errors within one round share the round's located-bin estimate,
+#: so they are positively correlated and the all-bits-correct
+#: probability exceeds ``(1 - ber)^40``; an effective length of 33
+#: reproduces the engine's measured delivery curve.
+OOK_EFFECTIVE_PAYLOAD_BITS = 33.0
+
+#: Receiver constants mirrored from :class:`repro.core.receiver`:
+#: detection threshold over the noise estimate (dB), preamble symbols
+#: voted for detection, and near-bin candidates an off bit can
+#: false-alarm on (located ``±1``).
+OOK_DETECTION_SNR_DB = 3.0
+OOK_PREAMBLE_SYMBOLS = 6
+OOK_OFF_BIT_CANDIDATES = 3
+
+#: Post-despreading SNR above which every probability saturates (the
+#: χ² series is skipped and 0/1 returned); P(error) < 1e-30 there.
+_SATURATION_RHO = 300.0
+
+
+def noncentral_chi2_cdf(
+    x, noncentrality, max_terms: int = 800
+) -> np.ndarray:
+    """CDF of the 2-DoF noncentral χ² distribution, vectorised.
+
+    ``P(χ²₂(λ) <= x)`` via the Poisson mixture of central χ² CDFs —
+    the exact distribution of ``|A + n|²`` readout power (complex
+    signal plus circular Gaussian noise), which is what every decision
+    in the OOK link law reduces to. Both arguments broadcast.
+
+    >>> float(round(noncentral_chi2_cdf(2.0, 0.0), 4))   # central case
+    0.6321
+    >>> float(noncentral_chi2_cdf(1e3, 0.0)) == 1.0
+    True
+    """
+    x = np.asarray(x, dtype=np.float64)
+    lam = np.asarray(noncentrality, dtype=np.float64)
+    x, lam = np.broadcast_arrays(x, lam)
+    half_lam = lam / 2.0
+    half_x = x / 2.0
+    poisson = np.exp(-half_lam)
+    term = np.exp(-half_x)
+    tail = term.copy()
+    cdf = np.zeros_like(half_x)
+    for k in range(max_terms):
+        cdf += poisson * (1.0 - tail)
+        poisson = poisson * half_lam / (k + 1)
+        term = term * half_x / (k + 1)
+        tail = tail + term
+    return np.clip(cdf, 0.0, 1.0)
+
+
+def post_despreading_snr(
+    snr_db, spreading_factor: int, calibration_db: float = OOK_CALIBRATION_DB
+) -> np.ndarray:
+    """Linear per-device SNR after the ``2^SF`` despreading gain.
+
+    The deployment convention (``repro.channel.awgn``): ``snr_db`` is
+    the pre-despreading in-band SNR, and dechirping concentrates the
+    signal into one bin for a ``10 log10(2^SF)`` processing gain. The
+    result is independent of the concurrent round's noise floor —
+    each device's readout SNR depends only on its own link.
+    """
+    gain_db = 10.0 * math.log10(2.0**spreading_factor)
+    return 10.0 ** (
+        (np.asarray(snr_db, dtype=np.float64) + gain_db + calibration_db)
+        / 10.0
+    )
+
+
+def ook_bit_error_probabilities(rho: np.ndarray):
+    """Per-symbol OOK error probabilities ``(p_on_miss, p_off_false)``.
+
+    ``rho`` is the linear post-despreading SNR. The decision threshold
+    sits midway between the expected on power ``(1 + rho)·σ²`` and the
+    noise power ``σ²``: an on bit is missed when its noncentral-χ²
+    power falls below it; an off bit false-alarms when any of the
+    ``OOK_OFF_BIT_CANDIDATES`` near-located noise bins exceeds it.
+    """
+    rho = np.asarray(rho, dtype=np.float64)
+    safe = np.minimum(rho, _SATURATION_RHO)
+    threshold = 0.5 * (safe + 1.0)
+    p_on = noncentral_chi2_cdf(2.0 * threshold, 2.0 * safe)
+    p_off = 1.0 - (1.0 - np.exp(-threshold)) ** OOK_OFF_BIT_CANDIDATES
+    saturated = rho > _SATURATION_RHO
+    return np.where(saturated, 0.0, p_on), np.where(saturated, 0.0, p_off)
+
+
+def preamble_detection_probability(
+    snr_db,
+    spreading_factor: int,
+    detection_snr_db: float = OOK_DETECTION_SNR_DB,
+) -> np.ndarray:
+    """Probability the 6-symbol preamble clears the detection gate.
+
+    Every preamble symbol's located-bin power must exceed the noise
+    estimate by ``detection_snr_db`` (the receiver's minimum-over-
+    preamble vote), so detection is the product of six independent
+    per-symbol exceedances.
+
+    >>> float(preamble_detection_probability(0.0, 9)) == 1.0
+    True
+    """
+    rho = post_despreading_snr(snr_db, spreading_factor)
+    safe = np.minimum(rho, _SATURATION_RHO)
+    gate = 10.0 ** (detection_snr_db / 10.0)
+    p_symbol = 1.0 - noncentral_chi2_cdf(2.0 * gate, 2.0 * safe)
+    p_detect = p_symbol**OOK_PREAMBLE_SYMBOLS
+    return np.where(rho > _SATURATION_RHO, 1.0, p_detect)
+
+
+def packet_delivery_probability(
+    snr_db,
+    spreading_factor: int,
+    payload_bits: float = OOK_EFFECTIVE_PAYLOAD_BITS,
+) -> np.ndarray:
+    """Closed-form probability a device's packet is delivered.
+
+    Delivery requires preamble detection *and* every payload bit
+    correct (the CRC convention of ``NetworkSimulator.run_rounds``).
+    Payload bits are an even on/off mix; ``payload_bits`` defaults to
+    the engine-calibrated effective independent length (see
+    :data:`OOK_EFFECTIVE_PAYLOAD_BITS`).
+
+    >>> float(packet_delivery_probability(0.0, 9)) == 1.0
+    True
+    >>> float(packet_delivery_probability(-40.0, 9)) < 1e-3
+    True
+    """
+    rho = post_despreading_snr(snr_db, spreading_factor)
+    p_on, p_off = ook_bit_error_probabilities(rho)
+    symbol_ber = 0.5 * (p_on + p_off)
+    p_detect = preamble_detection_probability(snr_db, spreading_factor)
+    return p_detect * (1.0 - symbol_ber) ** float(payload_bits)
+
+
+def effective_bit_error_rate(snr_db, spreading_factor: int) -> np.ndarray:
+    """Expected scored BER of a device, matching the engine's scoring.
+
+    ``NetworkSimulator.run_rounds`` counts a bit correct only when its
+    device's preamble was detected, so an undetected round scores every
+    bit wrong: ``1 - p_detect * (1 - symbol_ber)``.
+    """
+    rho = post_despreading_snr(snr_db, spreading_factor)
+    p_on, p_off = ook_bit_error_probabilities(rho)
+    symbol_ber = 0.5 * (p_on + p_off)
+    p_detect = preamble_detection_probability(snr_db, spreading_factor)
+    return 1.0 - p_detect * (1.0 - symbol_ber)
 
 
 def netscatter_utilisation(

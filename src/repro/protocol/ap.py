@@ -16,7 +16,7 @@ from repro.core.config import NetScatterConfig
 from repro.core.receiver import NetScatterReceiver
 from repro.errors import AssociationError, ProtocolError
 from repro.protocol.association import AssociationController
-from repro.protocol.messages import QueryMessage
+from repro.protocol.messages import AssociationResponse, QueryMessage
 from repro.protocol.scheduler import GroupScheduler
 
 
@@ -38,11 +38,14 @@ class AccessPoint:
         self,
         config: NetScatterConfig,
         group_span_db: float = 35.0,
+        backend: str = "flat",
     ) -> None:
         self._config = config
-        self._association = AssociationController(config)
+        self._association = AssociationController(config, backend=backend)
         self._scheduler = GroupScheduler(
-            max_group_size=config.max_devices, group_span_db=group_span_db
+            max_group_size=config.max_devices,
+            group_span_db=group_span_db,
+            backend=backend,
         )
         self._needs_reassignment_query = False
         self._device_snrs: Dict[int, float] = {}
@@ -55,6 +58,10 @@ class AccessPoint:
     @property
     def association(self) -> AssociationController:
         return self._association
+
+    @property
+    def backend(self) -> str:
+        return self._association.backend
 
     @property
     def scheduler(self) -> GroupScheduler:
@@ -95,6 +102,42 @@ class AccessPoint:
         )
         self.stats.associations_completed += 1
         return shift
+
+    def bulk_associate(
+        self,
+        device_ids,
+        snrs_db,
+        duty_cycle_rounds: int = 1,
+    ):
+        """Mass-admit many devices; returns their shifts.
+
+        The population-scale fast path: every handshake completes under
+        one allocation re-spread and one scheduler rebuild instead of N
+        of each. Stats are charged exactly as N single associations —
+        one grant query per device at the (constant) grant-query size —
+        so protocol-overhead accounting matches the serial path.
+        """
+        ids = [int(d) for d in device_ids]
+        shifts, reassigned = self._association.bulk_associate(ids, snrs_db)
+        n = len(ids)
+        self.stats.queries_sent += n
+        if n:
+            # All grant queries share one size: the association payload
+            # is fixed-width, so compute a single exemplar and multiply.
+            exemplar = QueryMessage(
+                association=AssociationResponse(
+                    network_id=ids[0] % 256,
+                    cyclic_shift=int(shifts[0]) // self._config.skip,
+                )
+            )
+            self.stats.downlink_bits_sent += n * exemplar.n_bits
+        if reassigned:
+            self._needs_reassignment_query = True
+        for device_id, snr in zip(ids, snrs_db):
+            self._device_snrs[device_id] = float(snr)
+        self._scheduler.bulk_add(ids, snrs_db, duty_cycle_rounds)
+        self.stats.associations_completed += n
+        return shifts
 
     # ------------------------------------------------------------------ #
     # query / round flow

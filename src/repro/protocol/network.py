@@ -165,6 +165,30 @@ class NetworkMetrics:
     noise_version: int = 0
 
 
+def _as_deployment(deployment) -> Deployment:
+    """Accept a :class:`Deployment` or a flat population.
+
+    The population layer (:class:`repro.protocol.population.Population`)
+    hands its effective-SNR column straight to the engine: a population
+    becomes a static no-fading deployment via
+    :meth:`Deployment.from_snrs` (its ``snr_db`` column is *post*
+    power-control by convention, so callers pair it with
+    ``power_control=False``). A raw 1-D SNR array is accepted the same
+    way; an existing deployment passes through untouched.
+    """
+    if isinstance(deployment, Deployment):
+        return deployment
+    from repro.protocol.population import Population
+
+    if isinstance(deployment, Population):
+        return Deployment.from_snrs(
+            deployment.snr_db, device_ids=deployment.device_id.tolist()
+        )
+    if isinstance(deployment, (list, tuple, np.ndarray)):
+        return Deployment.from_snrs(np.asarray(deployment, dtype=float))
+    return deployment
+
+
 class NetworkSimulator:
     """Round-based NetScatter network simulation over a deployment.
 
@@ -235,6 +259,7 @@ class NetworkSimulator:
             # The deployment experiments run all 256 devices concurrently;
             # association shifts are not reserved during the data phase.
             config = NetScatterConfig(n_association_shifts=0)
+        deployment = _as_deployment(deployment)
         if deployment.n_devices > config.max_devices:
             raise ConfigurationError(
                 f"deployment has {deployment.n_devices} devices; "
@@ -694,6 +719,7 @@ def sweep_device_counts(
         raise ConfigurationError(
             f"noise_mode must be one of {NOISE_MODES}, got {noise_mode!r}"
         )
+    deployment = _as_deployment(deployment)
     generator = make_rng(rng)
     jobs = []
     for count in device_counts:

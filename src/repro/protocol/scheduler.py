@@ -4,20 +4,35 @@ A network can hold more devices than one concurrent round supports. The
 AP assigns devices to groups — by similar signal strength, which also
 bounds each group's dynamic range — and schedules groups round-robin,
 honouring each device's duty cycle learned at association.
+
+The default backend keeps the roster in flat NumPy columns (SNR, duty
+cycle, rounds-since-transmit) so a rebuild is one stable argsort plus
+the vectorised span grouping (:func:`repro.protocol.population.
+span_group_bounds`) and a round tick is a handful of masked array
+updates; ``backend="object"`` preserves the per-device
+:class:`ScheduledDevice` implementation, pinned bit-identical by the
+equivalence suite. :meth:`GroupScheduler.bulk_add` enrols many devices
+under a single rebuild.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Sequence
+
+import numpy as np
 
 from repro.core.power_control import snr_groups
 from repro.errors import ProtocolError
+from repro.protocol.population import span_group_bounds
+
+#: Scheduler storage backends (mirrors ``allocation.TABLE_BACKENDS``).
+SCHEDULER_BACKENDS = ("flat", "object")
 
 
 @dataclass
 class ScheduledDevice:
-    """Scheduler-side view of one device."""
+    """Scheduler-side view of one device (object backend)."""
 
     device_id: int
     snr_db: float
@@ -36,14 +51,34 @@ class GroupScheduler:
         self,
         max_group_size: int,
         group_span_db: float = 35.0,
+        backend: str = "flat",
     ) -> None:
         if max_group_size < 1:
             raise ProtocolError("max_group_size must be >= 1")
+        if backend not in SCHEDULER_BACKENDS:
+            raise ProtocolError(
+                f"backend must be one of {SCHEDULER_BACKENDS}, "
+                f"got {backend!r}"
+            )
         self._max_group_size = int(max_group_size)
         self._group_span_db = float(group_span_db)
-        self._devices: Dict[int, ScheduledDevice] = {}
-        self._groups: List[List[int]] = []
+        self._backend = backend
         self._next_group = 0
+        if backend == "flat":
+            self._ids = np.empty(0, dtype=np.int64)
+            self._rows: Dict[int, int] = {}
+            self._snr = np.empty(0, dtype=np.float64)
+            self._duty = np.empty(0, dtype=np.int64)
+            self._rst = np.empty(0, dtype=np.int64)
+            self._group_rows: List[np.ndarray] = []
+            self._devices = None
+        else:
+            self._devices: Dict[int, ScheduledDevice] = {}
+        self._groups: List[List[int]] = []
+
+    @property
+    def backend(self) -> str:
+        return self._backend
 
     @property
     def n_groups(self) -> int:
@@ -56,6 +91,14 @@ class GroupScheduler:
     def add_device(
         self, device_id: int, snr_db: float, duty_cycle_rounds: int = 1
     ) -> None:
+        if self._backend == "flat":
+            if device_id in self._rows:
+                raise ProtocolError(f"device {device_id} already scheduled")
+            if duty_cycle_rounds < 1:
+                raise ProtocolError("duty cycle must be >= 1 round")
+            self._append_rows([device_id], [snr_db], [duty_cycle_rounds])
+            self._rebuild_groups()
+            return
         if device_id in self._devices:
             raise ProtocolError(f"device {device_id} already scheduled")
         if duty_cycle_rounds < 1:
@@ -67,7 +110,79 @@ class GroupScheduler:
         )
         self._rebuild_groups()
 
+    def bulk_add(
+        self,
+        device_ids: Sequence[int],
+        snrs_db: Sequence[float],
+        duty_cycle_rounds: int = 1,
+    ) -> None:
+        """Enrol many devices under a *single* group rebuild.
+
+        The population-scale fast path: N per-device admits cost N
+        rebuilds (O(N² log N) total); one bulk admit costs one. Same
+        final grouping as the serial sequence on both backends.
+        """
+        if duty_cycle_rounds < 1:
+            raise ProtocolError("duty cycle must be >= 1 round")
+        ids = [int(d) for d in device_ids]
+        if len(set(ids)) != len(ids):
+            raise ProtocolError("duplicate device ids in bulk add")
+        if self._backend == "flat":
+            for device_id in ids:
+                if device_id in self._rows:
+                    raise ProtocolError(
+                        f"device {device_id} already scheduled"
+                    )
+            self._append_rows(
+                ids, snrs_db, [duty_cycle_rounds] * len(ids)
+            )
+        else:
+            for device_id in ids:
+                if device_id in self._devices:
+                    raise ProtocolError(
+                        f"device {device_id} already scheduled"
+                    )
+            for device_id, snr_db in zip(ids, snrs_db):
+                self._devices[device_id] = ScheduledDevice(
+                    device_id=device_id,
+                    snr_db=float(snr_db),
+                    duty_cycle_rounds=int(duty_cycle_rounds),
+                )
+        self._rebuild_groups()
+
+    def _append_rows(self, ids, snrs, duties) -> None:
+        start = self._ids.size
+        self._ids = np.concatenate(
+            [self._ids, np.asarray(ids, dtype=np.int64)]
+        )
+        self._snr = np.concatenate(
+            [self._snr, np.asarray(snrs, dtype=np.float64)]
+        )
+        self._duty = np.concatenate(
+            [self._duty, np.asarray(duties, dtype=np.int64)]
+        )
+        self._rst = np.concatenate(
+            [self._rst, np.zeros(len(ids), dtype=np.int64)]
+        )
+        for offset, device_id in enumerate(ids):
+            self._rows[int(device_id)] = start + offset
+
     def remove_device(self, device_id: int) -> None:
+        if self._backend == "flat":
+            if device_id not in self._rows:
+                raise ProtocolError(f"device {device_id} is not scheduled")
+            row = self._rows.pop(device_id)
+            keep = np.ones(self._ids.size, dtype=bool)
+            keep[row] = False
+            self._ids = self._ids[keep]
+            self._snr = self._snr[keep]
+            self._duty = self._duty[keep]
+            self._rst = self._rst[keep]
+            for moved in self._rows:
+                if self._rows[moved] > row:
+                    self._rows[moved] -= 1
+            self._rebuild_groups()
+            return
         if device_id not in self._devices:
             raise ProtocolError(f"device {device_id} is not scheduled")
         del self._devices[device_id]
@@ -75,6 +190,30 @@ class GroupScheduler:
 
     def _rebuild_groups(self) -> None:
         """Group by SNR span, then split oversized groups."""
+        if self._backend == "flat":
+            n = self._ids.size
+            if n == 0:
+                self._groups = []
+                self._group_rows = []
+                return
+            order = np.argsort(-self._snr, kind="stable")
+            starts = span_group_bounds(
+                self._snr[order], self._group_span_db
+            )
+            stops = list(starts[1:]) + [n]
+            group_rows: List[np.ndarray] = []
+            for start, stop in zip(starts, stops):
+                members = order[start:stop]
+                for cut in range(0, members.size, self._max_group_size):
+                    group_rows.append(
+                        members[cut : cut + self._max_group_size]
+                    )
+            self._group_rows = group_rows
+            self._groups = [
+                self._ids[rows].tolist() for rows in group_rows
+            ]
+            self._next_group %= max(1, len(self._groups))
+            return
         if not self._devices:
             self._groups = []
             return
@@ -98,6 +237,17 @@ class GroupScheduler:
         """
         if not self._groups:
             return []
+        if self._backend == "flat":
+            rows = self._group_rows[self._next_group]
+            self._next_group = (self._next_group + 1) % len(self._groups)
+            due = self._rst[rows] + 1 >= self._duty[rows]
+            transmitting = self._ids[rows[due]].tolist()
+            self._rst[rows[due]] = 0
+            self._rst[rows[~due]] += 1
+            outside = np.ones(self._ids.size, dtype=bool)
+            outside[rows] = False
+            self._rst[outside] += 1
+            return transmitting
         group = self._groups[self._next_group]
         self._next_group = (self._next_group + 1) % len(self._groups)
         transmitting: List[int] = []

@@ -62,6 +62,11 @@ class NetworkSession:
     round_interval_s:
         Wall-clock spacing between concurrent rounds (the fading steps
         by this amount each round).
+    backend:
+        Protocol-state storage backend, threaded through to the AP's
+        allocation table, association controller and scheduler
+        (``"flat"`` struct-of-arrays by default; ``"object"`` is the
+        legacy per-device path, pinned equivalent by the tests).
     """
 
     def __init__(
@@ -72,6 +77,7 @@ class NetworkSession:
         round_interval_s: float = 0.06,
         fading_std_db: float = 3.0,
         rng: RngLike = None,
+        backend: str = "flat",
     ) -> None:
         self._rng = make_rng(rng)
         if deployment is None:
@@ -93,7 +99,7 @@ class NetworkSession:
         # Build tags and associate everyone (one at a time, as deployed).
         from repro.protocol.ap import AccessPoint
 
-        self._ap = AccessPoint(config)
+        self._ap = AccessPoint(config, backend=backend)
         self._devices: Dict[int, BackscatterDevice] = {}
         for dep_device in deployment.devices:
             # Re-scale the fading to the session's regime, redrawing the

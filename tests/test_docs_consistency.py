@@ -4,7 +4,7 @@ Three classes of drift this catches in tier-1:
 
 * the documented hot-path modules must keep runnable doctest examples
   (and stay registered with the ``tests/test_doctests.py`` collector);
-* the two docs pages and the README must exist and keep naming the
+* the docs pages and the README must exist and keep naming the
   load-bearing anchors they document (env vars, schema names, modes,
   measured crossovers) — if a rename lands without a docs update, this
   fails;
@@ -38,6 +38,9 @@ DOCUMENTED_MODULES = [
     "repro.campaign.objectstore",
     "repro.campaign.service",
     "repro.campaign.client",
+    "repro.core.allocation",
+    "repro.core.capacity",
+    "repro.protocol.population",
 ]
 
 #: Load-bearing anchors per documentation file: strings that must keep
@@ -91,6 +94,24 @@ DOC_ANCHORS = {
         "max_backlog",
         "points_computed == 0",
     ],
+    "docs/SCALING.md": [
+        "Population",
+        "backend=\"object\"",
+        "bulk_add",
+        "spread_slot_indices",
+        "span_group_bounds",
+        "FidelityRule",
+        "closed_form_min_snr_db",
+        "validity_floor",
+        "contended",
+        "audit_fraction",
+        "hybrid_population_round",
+        "office_population",
+        "population_scale",
+        "scale-smoke",
+        "--devices 100000",
+        "tests/test_population_scale.py",
+    ],
     "README.md": [
         "docs/PERFORMANCE.md",
         "docs/ARCHITECTURE.md",
@@ -109,6 +130,9 @@ DOC_ANCHORS = {
         "--service http://hostA:8124",
         "/healthz",
         "service-chaos",
+        "docs/SCALING.md",
+        "--devices 100000",
+        "hybrid fidelity",
     ],
 }
 
@@ -138,6 +162,8 @@ class TestCiPipeline:
             "serve-api",
             "--service-fault-plan",
             "submit --service",
+            "scale-smoke",
+            "test_population_scale.py",
         ):
             assert anchor in text, f"ci.yml lost {anchor!r}"
 

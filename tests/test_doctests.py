@@ -18,8 +18,11 @@ import repro.campaign.service
 import repro.campaign.spec
 import repro.campaign.storage
 import repro.campaign.store
+import repro.core.allocation
+import repro.core.capacity
 import repro.phy.backend_plan
 import repro.phy.noise
+import repro.protocol.population
 import repro.phy.sparse_readout
 import repro.utils.bits
 import repro.utils.conversions
@@ -38,6 +41,9 @@ MODULES_WITH_DOCTESTS = [
     repro.campaign.objectstore,
     repro.campaign.service,
     repro.campaign.client,
+    repro.core.allocation,
+    repro.core.capacity,
+    repro.protocol.population,
 ]
 
 

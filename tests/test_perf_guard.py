@@ -101,6 +101,13 @@ def test_perf_smoke_quick_mode_within_budget(tmp_path):
     assert modes["full"]["noise_version"] == 1
     assert modes["payload"]["noise_version"] == 2
     assert modes["speedup_payload_vs_full"] > 0
+    scale = run["population_scale"]
+    point = scale["devices_10000"]
+    assert point["n_devices"] == 10_000
+    assert point["n_groups"] == (
+        point["closed_form_groups"] + point["monte_carlo_groups"]
+    )
+    assert 0.0 <= point["delivery_ratio"] <= 1.0
     campaign = run["campaign"]
     assert campaign["cold"]["points_computed"] > 0
     assert campaign["warm_rerun"]["points_computed"] == 0
